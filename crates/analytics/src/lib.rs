@@ -1,0 +1,41 @@
+//! `supremm-analytics`: the statistics underneath the paper's analyses.
+//!
+//! Pure math over plain slices — no I/O, no storage types — so every
+//! report layer (and the test suite) can drive it directly:
+//!
+//! - [`stats`] — streaming and weighted moments (all job statistics in
+//!   the paper are node·hour-weighted, §4.1).
+//! - [`correlation`] — Pearson matrices and the §4.2 minimal-independent-
+//!   metric-set selection.
+//! - [`kde`] — Gaussian kernel density estimation (the paper uses R's
+//!   `density()`, citing Scott \[28\], for Figures 10 and 12).
+//! - [`regression`] — OLS with standard errors, t statistics, two-sided
+//!   p-values and R² (Figure 6 reports all of these).
+//! - [`persistence`] — the offset-σ-ratio predictability analysis of
+//!   Table 1 / Figure 6.
+//! - [`profile`] — normalized usage profiles (the radar charts of
+//!   Figures 2, 3, 5).
+//! - [`efficiency`] — wasted-node-hour accounting (Figure 4).
+//! - [`outlier`] — anomaly flagging for jobs/users with aberrant
+//!   profiles.
+//! - [`control`] — Shewhart/CUSUM process control for the application-
+//!   kernel performance auditing of the paper's companion framework
+//!   (reference \[2\]).
+
+pub mod control;
+pub mod correlation;
+pub mod efficiency;
+pub mod kde;
+pub mod outlier;
+pub mod persistence;
+pub mod profile;
+pub mod quantile;
+pub mod regression;
+pub mod stats;
+pub mod trend;
+
+pub use correlation::{correlation_matrix, pearson, select_independent};
+pub use kde::Kde;
+pub use persistence::{persistence_ratios, PersistencePoint};
+pub use regression::{linear_fit, LinearFit};
+pub use stats::{Moments, WeightedMoments};

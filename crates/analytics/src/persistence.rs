@@ -1,0 +1,170 @@
+//! The persistence (predictability) analysis of §4.3.4.
+//!
+//! "We can introduce an offset, for example X minutes, and take the
+//! difference between the offset values and the original values and look
+//! at the standard deviation of this difference. ... If there is no
+//! tendency to persist, the standard deviation should be approximately
+//! equal to the original standard deviation of the metric." — the paper
+//! actually normalizes by the original σ (Table 1 entries run 0→1), i.e.
+//! it reports `σ(x(t+Δ) − x(t)) / σ(x)`... with the caveat that for an
+//! uncorrelated series that ratio tends to √2; the tabulated values
+//! approaching 1.0 at large offsets indicate the σ of the *difference
+//! divided by √2* (the per-sample innovation), which is what we compute:
+//! `ratio(Δ) = σ(diff) / (√2·σ(x))`, giving exactly 0 for perfect
+//! persistence and 1 for none.
+
+use crate::regression::{linear_fit, LinearFit};
+
+/// One offset's persistence measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistencePoint {
+    /// Offset in number of samples.
+    pub offset_samples: usize,
+    /// Offset in minutes (given the sample spacing).
+    pub offset_minutes: f64,
+    /// σ(x(t+Δ)−x(t)) / (√2 σ(x)), in `[0, ~1+ε]`.
+    pub ratio: f64,
+}
+
+/// Compute persistence ratios of an equally-spaced series at the given
+/// offsets (in samples). Offsets not smaller than the series length are
+/// skipped.
+pub fn persistence_ratios(
+    series: &[f64],
+    sample_minutes: f64,
+    offsets: &[usize],
+) -> Vec<PersistencePoint> {
+    let n = series.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return Vec::new();
+    }
+    let sigma = var.sqrt();
+    let mut out = Vec::new();
+    for &k in offsets {
+        if k == 0 || k >= n {
+            continue;
+        }
+        let diffs: Vec<f64> = series.windows(k + 1).map(|w| w[k] - w[0]).collect();
+        let dm = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let dvar = diffs.iter().map(|d| (d - dm).powi(2)).sum::<f64>() / diffs.len() as f64;
+        out.push(PersistencePoint {
+            offset_samples: k,
+            offset_minutes: k as f64 * sample_minutes,
+            ratio: dvar.sqrt() / (std::f64::consts::SQRT_2 * sigma),
+        });
+    }
+    out
+}
+
+/// Fit the paper's logarithmic model `ratio = a + b·log10(offset_min)`
+/// over a set of persistence points (Figure 6 / Table 1's last row).
+pub fn log_fit(points: &[PersistencePoint]) -> Option<LinearFit> {
+    let x: Vec<f64> = points.iter().map(|p| p.offset_minutes.log10()).collect();
+    let y: Vec<f64> = points.iter().map(|p| p.ratio).collect();
+    linear_fit(&x, &y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// AR(1) series with coefficient `rho`, deterministic innovations.
+    fn ar1(n: usize, rho: f64) -> Vec<f64> {
+        let mut x = 0.0f64;
+        let mut state = 88172645463325252u64;
+        (0..n)
+            .map(|_| {
+                // xorshift noise in [-1, 1].
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let z = (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+                x = rho * x + z;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_ratio_is_one_at_all_offsets() {
+        let series = ar1(200_000, 0.0);
+        let pts = persistence_ratios(&series, 10.0, &[1, 3, 10, 50]);
+        for p in pts {
+            assert!((p.ratio - 1.0).abs() < 0.02, "offset {}: {}", p.offset_samples, p.ratio);
+        }
+    }
+
+    #[test]
+    fn persistent_series_ratio_grows_from_small_to_one() {
+        let series = ar1(200_000, 0.98);
+        let pts = persistence_ratios(&series, 10.0, &[1, 10, 100, 1000]);
+        assert!(pts[0].ratio < 0.25, "short-offset ratio {}", pts[0].ratio);
+        assert!(pts[3].ratio > 0.9, "long-offset ratio {}", pts[3].ratio);
+        for w in pts.windows(2) {
+            assert!(w[1].ratio > w[0].ratio, "monotone increase");
+        }
+    }
+
+    #[test]
+    fn ar1_ratio_matches_theory() {
+        // For AR(1), σ²(diff at k) = 2σ²(1−ρᵏ), so ratio = √(1−ρᵏ).
+        let rho: f64 = 0.9;
+        let series = ar1(400_000, rho);
+        let pts = persistence_ratios(&series, 1.0, &[1, 5, 20]);
+        for p in &pts {
+            let want = (1.0 - rho.powi(p.offset_samples as i32)).sqrt();
+            assert!(
+                (p.ratio - want).abs() < 0.02,
+                "k={}: got {}, theory {}",
+                p.offset_samples,
+                p.ratio,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_persistence_gives_zero() {
+        let series: Vec<f64> = (0..1000).map(|i| if i < 500 { 1.0 } else { 3.0 }).collect();
+        // Constant except one step; tiny offsets see almost no change.
+        let pts = persistence_ratios(&series, 10.0, &[1]);
+        assert!(pts[0].ratio < 0.1, "{}", pts[0].ratio);
+    }
+
+    #[test]
+    fn offsets_and_minutes_are_consistent() {
+        let series = ar1(1000, 0.5);
+        let pts = persistence_ratios(&series, 10.0, &[1, 3, 10, 5000]);
+        // 5000 >= n skipped.
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].offset_minutes, 30.0);
+    }
+
+    #[test]
+    fn constant_series_yields_nothing() {
+        assert!(persistence_ratios(&[2.0; 100], 10.0, &[1, 2]).is_empty());
+        assert!(persistence_ratios(&[1.0, 2.0], 10.0, &[1]).is_empty());
+    }
+
+    #[test]
+    fn log_fit_recovers_logarithmic_shape() {
+        // Construct points exactly on ratio = -0.2 + 0.4·log10(min).
+        let pts: Vec<PersistencePoint> = [10.0, 30.0, 100.0, 500.0, 1000.0]
+            .iter()
+            .map(|&m| PersistencePoint {
+                offset_samples: (m / 10.0) as usize,
+                offset_minutes: m,
+                ratio: -0.2 + 0.4 * m.log10(),
+            })
+            .collect();
+        let fit = log_fit(&pts).unwrap();
+        assert!((fit.intercept + 0.2).abs() < 1e-9);
+        assert!((fit.slope - 0.4).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+}

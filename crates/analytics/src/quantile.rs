@@ -1,0 +1,205 @@
+//! Streaming quantile estimation (P² algorithm, Jain & Chlamtac 1985).
+//!
+//! The warehouse summarises millions of samples; reports want tail
+//! quantiles (p95/p99 memory, wait-time percentiles) without buffering
+//! everything. P² maintains five markers per tracked quantile in O(1)
+//! memory with good accuracy on smooth distributions.
+
+/// One streaming quantile estimator.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// First five observations, before the markers initialise.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Track the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(p > 0.0 && p < 1.0);
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                self.warmup.sort_by(f64::total_cmp);
+                for (qi, &w) in self.q.iter_mut().zip(&self.warmup) {
+                    *qi = w;
+                }
+            }
+            return;
+        }
+        // Find the cell k such that q[k] <= x < q[k+1].
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            (0..4).find(|&i| x < self.q[i + 1]).unwrap_or(3)
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_q = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.q[i] = new_q;
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate. `None` before any data; exact for ≤5 samples.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            // Exact small-sample quantile.
+            let mut v = self.warmup.clone();
+            v.sort_by(f64::total_cmp);
+            let idx = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            return Some(v[idx]);
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    fn exact_quantile(xs: &[f64], p: f64) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(f64::total_cmp);
+        v[((p * v.len() as f64) as usize).min(v.len() - 1)]
+    }
+
+    /// Deterministic pseudo-uniform values in [0, 1).
+    fn pseudo_uniform(i: usize) -> f64 {
+        let h = (i as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let xs = stream(50_000, pseudo_uniform);
+        let mut est = P2Quantile::new(0.5);
+        for &x in &xs {
+            est.push(x);
+        }
+        let got = est.estimate().unwrap();
+        assert!((got - 0.5).abs() < 0.01, "{got}");
+    }
+
+    #[test]
+    fn p99_of_skewed_stream() {
+        // Exponential-ish via inverse transform.
+        let xs = stream(50_000, |i| -(1.0 - pseudo_uniform(i)).ln());
+        let mut est = P2Quantile::new(0.99);
+        for &x in &xs {
+            est.push(x);
+        }
+        let got = est.estimate().unwrap();
+        let want = exact_quantile(&xs, 0.99);
+        assert!((got / want - 1.0).abs() < 0.05, "{got} vs {want}");
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        for x in [5.0, 1.0, 3.0] {
+            est.push(x);
+        }
+        assert_eq!(est.estimate(), Some(3.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn monotone_stream_tracks_the_right_tail() {
+        let mut est = P2Quantile::new(0.9);
+        for i in 0..10_000 {
+            est.push(i as f64);
+        }
+        let got = est.estimate().unwrap();
+        assert!((got / 9000.0 - 1.0).abs() < 0.05, "{got}");
+    }
+
+    #[test]
+    fn constant_stream_returns_the_constant() {
+        let mut est = P2Quantile::new(0.75);
+        for _ in 0..1000 {
+            est.push(7.5);
+        }
+        assert_eq!(est.estimate(), Some(7.5));
+    }
+
+    #[test]
+    fn extremes_update_the_outer_markers() {
+        let mut est = P2Quantile::new(0.5);
+        for &x in &[10.0, 20.0, 30.0, 40.0, 50.0, 5.0, 55.0] {
+            est.push(x);
+        }
+        // Estimator survives out-of-range pushes and stays in range.
+        let got = est.estimate().unwrap();
+        assert!((5.0..=55.0).contains(&got));
+    }
+}

@@ -1,0 +1,34 @@
+//! `supremm-appkernels`: the application-kernel performance auditing
+//! framework.
+//!
+//! The paper's reference \[2\] (Furlani et al., *"Performance metrics and
+//! auditing framework using application kernels for high performance
+//! computer systems"*) is XDMoD's other half: a suite of fixed benchmark
+//! "application kernels" runs on a cadence, and statistical process
+//! control over their scores detects when a machine's *delivered*
+//! performance degrades — before users notice. This crate implements that
+//! framework against the simulated substrate:
+//!
+//! - [`kernels`] — the kernel suite (DGEMM-, STREAM-, IOR-, OSU-style),
+//!   each generating a characteristic activity pattern and scoring itself
+//!   from the *collected* TACC_Stats records (not from its own intent —
+//!   the measurement chain is part of what is being audited);
+//! - [`health`] — node-health degradation model (CPU throttling, memory-
+//!   bandwidth loss, I/O and fabric faults) with an injection timeline;
+//! - [`runner`] — executes a kernel on a node through the real collector;
+//! - [`audit`] — the periodic auditor: baseline → CUSUM detection →
+//!   subsystem implication;
+//! - [`fleet`] — one-pass fleet screening that localises the broken node
+//!   (robust outliers against the fleet median, no history needed).
+
+pub mod audit;
+pub mod fleet;
+pub mod health;
+pub mod kernels;
+pub mod runner;
+
+pub use audit::{AuditConfig, AuditReport, Auditor};
+pub use fleet::{screen_fleet, FleetScreenReport};
+pub use health::{DegradationEvent, HealthTimeline, NodeHealth, Subsystem};
+pub use kernels::{standard_suite, AppKernel};
+pub use runner::{run_kernel, KernelRun};

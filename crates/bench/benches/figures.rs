@@ -1,0 +1,70 @@
+//! One benchmark per paper artifact: the cost of regenerating each table
+//! and figure from a warehoused dataset (the interactive-XDMoD latency
+//! question — every one of these backs a dashboard panel).
+//!
+//! The datasets are built once; each bench then measures pure
+//! report-generation time. Correctness of the artifacts is covered by the
+//! `repro` binary and the experiment tests; this file sizes them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use supremm_clustersim::ClusterConfig;
+use supremm_core::experiments;
+use supremm_core::pipeline::{run_pipeline, MachineDataset, PipelineOptions};
+
+fn datasets() -> (MachineDataset, MachineDataset) {
+    let opts = PipelineOptions { keep_archive: false, series_bin_secs: None };
+    (
+        run_pipeline(ClusterConfig::ranger().scaled(16, 4), &opts),
+        run_pipeline(ClusterConfig::lonestar4().scaled(12, 4), &opts),
+    )
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let (ranger, ls4) = datasets();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+
+    g.bench_function("sec4_2_correlation_selection", |b| {
+        b.iter(|| black_box(experiments::corr_metric_selection(&ranger)));
+    });
+    g.bench_function("fig2_user_profiles", |b| {
+        b.iter(|| black_box(experiments::fig2_user_profiles(&ranger)));
+    });
+    g.bench_function("fig3_md_app_profiles", |b| {
+        b.iter(|| black_box(experiments::fig3_md_apps(&ranger, &ls4)));
+    });
+    g.bench_function("fig4_wasted_node_hours", |b| {
+        b.iter(|| black_box(experiments::fig4_wasted_hours(&ranger, 0.90)));
+    });
+    g.bench_function("fig5_anomalous_user_profile", |b| {
+        b.iter(|| black_box(experiments::fig5_anomalous_profile(&ranger)));
+    });
+    g.bench_function("table1_persistence", |b| {
+        b.iter(|| black_box(experiments::table1_persistence(&ranger)));
+    });
+    g.bench_function("fig6_persistence_fit", |b| {
+        b.iter(|| black_box(experiments::fig6_persistence_fit(&ranger, &ls4)));
+    });
+    g.bench_function("fig7_system_reports", |b| {
+        b.iter(|| black_box(experiments::fig7_system_reports(&ranger)));
+    });
+    g.bench_function("fig8_active_nodes", |b| {
+        b.iter(|| black_box(experiments::fig8_active_nodes(&ranger)));
+    });
+    g.bench_function("fig9_10_flops_series_and_kde", |b| {
+        b.iter(|| black_box(experiments::fig9_10_flops(&ranger)));
+    });
+    g.bench_function("fig11_12_memory_series_and_kde", |b| {
+        b.iter(|| black_box(experiments::fig11_12_memory(&ranger)));
+    });
+    g.bench_function("sec3_volume_and_workload", |b| {
+        b.iter(|| black_box(experiments::volume_and_workload(&ranger, 549.0)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Runs the full tool chain (simulate → collect → rationalize → ingest →
+//! analyze → report) for both machines and prints, per paper artifact,
+//! the regenerated dataset plus the shape checks. Usage:
+//!
+//! ```text
+//! repro [--nodes N] [--days D] [--only <substring>] [--seed S]
+//! ```
+//!
+//! Defaults: 48 nodes × 30 days Ranger, 36 nodes × 30 days Lonestar4 —
+//! enough for every shape while staying laptop-sized. The paper's full
+//! scale (3936 nodes × 20 months) changes volumes, not shapes; see
+//! DESIGN.md.
+
+use supremm_clustersim::ClusterConfig;
+use supremm_core::experiments::{self, ExperimentResult};
+use supremm_core::pipeline::{run_pipeline, MachineDataset, PipelineOptions};
+
+struct Args {
+    nodes: u32,
+    days: u64,
+    only: Option<String>,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { nodes: 48, days: 30, only: None, seed: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                args.nodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--nodes needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--days" => {
+                args.days = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--days needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--only" => args.only = it.next(),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()),
+            "--help" | "-h" => {
+                println!("usage: repro [--nodes N] [--days D] [--only <substring>] [--seed S]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn build(cfg: ClusterConfig, label: &str) -> MachineDataset {
+    eprintln!(
+        "[repro] simulating {label}: {} nodes x {} days ...",
+        cfg.node_count, cfg.sim_days
+    );
+    let t0 = std::time::Instant::now();
+    let ds = run_pipeline(cfg, &PipelineOptions { keep_archive: true, series_bin_secs: None });
+    eprintln!(
+        "[repro] {label}: {} jobs ingested, {:.1} MB raw, {:.1}s",
+        ds.table.len(),
+        ds.raw_total_bytes as f64 / (1024.0 * 1024.0),
+        t0.elapsed().as_secs_f64()
+    );
+    ds
+}
+
+fn main() {
+    let args = parse_args();
+    let mut ranger_cfg = ClusterConfig::ranger().scaled(args.nodes, args.days);
+    let mut ls4_cfg =
+        ClusterConfig::lonestar4().scaled((args.nodes * 3 / 4).max(8), args.days);
+    if let Some(seed) = args.seed {
+        ranger_cfg = ranger_cfg.with_seed(seed);
+        ls4_cfg = ls4_cfg.with_seed(seed.wrapping_add(0x4c6f_6e65));
+    }
+    let ranger = build(ranger_cfg, "ranger");
+    let ls4 = build(ls4_cfg, "lonestar4");
+
+    let results: Vec<ExperimentResult> = vec![
+        experiments::corr_metric_selection(&ranger),
+        experiments::fig2_user_profiles(&ranger),
+        experiments::fig3_md_apps(&ranger, &ls4),
+        experiments::fig4_wasted_hours(&ranger, 0.90),
+        experiments::fig4_wasted_hours(&ls4, 0.85),
+        experiments::fig5_anomalous_profile(&ranger),
+        experiments::fig5_anomalous_profile(&ls4),
+        experiments::table1_persistence(&ranger),
+        experiments::table1_persistence(&ls4),
+        experiments::fig6_persistence_fit(&ranger, &ls4),
+        experiments::fig7_system_reports(&ranger),
+        experiments::fig8_active_nodes(&ranger),
+        experiments::fig8_active_nodes(&ls4),
+        experiments::fig9_10_flops(&ranger),
+        experiments::fig11_12_memory(&ranger),
+        experiments::fig11_12_memory(&ls4),
+        experiments::volume_and_workload(&ranger, 549.0),
+        experiments::volume_and_workload(&ls4, 446.0),
+        experiments::ablation_attribution(&ranger),
+        experiments::bouquet(&ranger, &ls4),
+        experiments::failure_diagnosis(&ranger),
+        experiments::trend_forecast(&ranger),
+        experiments::ablation_scheduler(args.nodes.min(32), args.days.min(10)),
+        experiments::failure_precursors(&ls4),
+    ];
+
+    let mut pass = 0usize;
+    let mut fail = 0usize;
+    for r in &results {
+        if let Some(filter) = &args.only {
+            if !r.id.to_lowercase().contains(&filter.to_lowercase()) {
+                continue;
+            }
+        }
+        print!("{}", r.render());
+        println!();
+        for c in &r.checks {
+            if c.pass {
+                pass += 1;
+            } else {
+                fail += 1;
+            }
+        }
+    }
+    println!("==== summary ====");
+    println!("shape checks: {pass} passed, {fail} failed");
+    if fail > 0 {
+        std::process::exit(1);
+    }
+}

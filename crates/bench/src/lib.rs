@@ -1,0 +1,1 @@
+// placeholder, replaced as modules land

@@ -1,0 +1,40 @@
+//! `supremm-clustersim`: the cluster + workload substrate.
+//!
+//! The paper's evaluation runs on 20 months of production workload from
+//! two real XSEDE machines. This crate is the substitution (see
+//! DESIGN.md): a discrete-time simulator of a Linux cluster — node
+//! hardware, an EASY-backfill scheduler, outages, and a statistical
+//! workload model (heavy-tailed user population, application resource
+//! signatures, job phase structure) calibrated to the aggregates the
+//! paper publishes, so that every downstream analysis sees data with the
+//! published *shape*.
+//!
+//! - [`config`] — cluster presets (Ranger, Lonestar4) and scaling knobs.
+//! - [`apps`] — the application catalog with per-app resource signatures
+//!   (NAMD / AMBER / GROMACS calibrated to Figure 3's contrasts).
+//! - [`users`] — the user population (heavy-tailed sizes, efficiency
+//!   traits, injected idle-anomaly users for Figures 4/5).
+//! - [`job`] — job specs and the per-slice activity model (AR(1)
+//!   intensity + checkpoint bursts, which produce Table 1's persistence
+//!   structure).
+//! - [`scheduler`] — FCFS + EASY backfill over the node pool.
+//! - [`outage`] — scheduled/unscheduled downtime windows (Figure 8 dips).
+//! - [`sim`] — the driving loop, emitting step events for the collector
+//!   and log layers.
+//! - [`rng`] — deterministic distribution sampling.
+
+pub mod apps;
+pub mod config;
+pub mod job;
+pub mod outage;
+pub mod rng;
+pub mod scheduler;
+pub mod sim;
+pub mod users;
+
+pub use apps::{AppCatalog, AppProfile, ResourceSignature};
+pub use config::ClusterConfig;
+pub use job::{ExitStatus, JobSpec};
+pub use scheduler::SchedPolicy;
+pub use sim::{Simulation, StepEvents};
+pub use users::{UserPopulation, UserProfile};

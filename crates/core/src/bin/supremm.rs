@@ -1,0 +1,268 @@
+//! `supremm` — the tool chain as a command-line product.
+//!
+//! ```text
+//! supremm simulate --machine ranger --nodes 24 --days 3 --out data/
+//!     run the simulated machine and dump every artifact: raw TACC_Stats
+//!     files (raw/<day>/<host>), accounting.log, lariat.jsonl,
+//!     syslog.jsonl and the ingested warehouse (jobs.jsonl)
+//!
+//! supremm ingest --data data/
+//!     re-ingest raw/ + accounting.log + lariat.jsonl from a dump and
+//!     rewrite jobs.jsonl (what a site cron job would do nightly)
+//!
+//! supremm report --data data/ --kind top-apps|top-users|efficiency|science
+//!     run a canned XDMoD-style report over jobs.jsonl
+//!
+//! supremm diagnose --data data/
+//!     the ANCOR-style failure diagnosis over jobs.jsonl + syslog.jsonl
+//!
+//! supremm serve --data data/ --addr 127.0.0.1:8080
+//!     serve the JSON query API (GET /healthz, /v1/summary, /v1/query)
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use supremm_clustersim::ClusterConfig;
+use supremm_core::pipeline::{run_pipeline, PipelineOptions};
+use supremm_ratlog::accounting::parse_file as parse_accounting;
+use supremm_ratlog::lariat::parse_log as parse_lariat;
+use supremm_ratlog::RatRecord;
+use supremm_taccstats::RawArchive;
+use supremm_warehouse::{ingest, JobTable, SystemSeries};
+use supremm_xdmod::framework::{run as run_query, Dimension, Query, Statistic};
+use supremm_xdmod::render::to_ascii_table;
+use supremm_xdmod::report_builder::{build_report, ReportInputs, ReportSpec};
+use supremm_xdmod::{diagnose, reports};
+
+fn die(msg: &str) -> ! {
+    eprintln!("supremm: {msg}");
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn data_dir(args: &[String]) -> PathBuf {
+    PathBuf::from(arg_value(args, "--data").unwrap_or_else(|| "data".to_string()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("simulate") => simulate(&args[1..]),
+        Some("ingest") => reingest(&args[1..]),
+        Some("report") => report(&args[1..]),
+        Some("diagnose") => diagnose_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "usage: supremm <simulate|ingest|report|diagnose> [options]\n\
+                 see `cargo doc` or the module docs of this binary for details"
+            );
+        }
+        Some(other) => die(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn simulate(args: &[String]) {
+    let machine = arg_value(args, "--machine").unwrap_or_else(|| "ranger".into());
+    let nodes: u32 = arg_value(args, "--nodes")
+        .map(|v| v.parse().unwrap_or_else(|_| die("--nodes needs an integer")))
+        .unwrap_or(24);
+    let days: u64 = arg_value(args, "--days")
+        .map(|v| v.parse().unwrap_or_else(|_| die("--days needs an integer")))
+        .unwrap_or(3);
+    let out = PathBuf::from(arg_value(args, "--out").unwrap_or_else(|| "data".into()));
+
+    let cfg = match machine.as_str() {
+        "ranger" => ClusterConfig::ranger(),
+        "lonestar4" => ClusterConfig::lonestar4(),
+        "stampede" => ClusterConfig::stampede(),
+        other => die(&format!("unknown machine {other:?} (ranger|lonestar4|stampede)")),
+    }
+    .scaled(nodes, days);
+
+    eprintln!("simulating {machine}: {nodes} nodes x {days} days ...");
+    let ds = run_pipeline(cfg, &PipelineOptions::default());
+
+    std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("mkdir {out:?}: {e}")));
+    ds.archive
+        .write_to_dir(&out.join("raw"))
+        .unwrap_or_else(|e| die(&format!("writing raw archive: {e}")));
+    let accounting: String = ds.accounting.iter().map(|a| a.to_line() + "\n").collect();
+    std::fs::write(out.join("accounting.log"), accounting).unwrap();
+    let lariat: String = ds.lariat.iter().map(|l| l.to_json() + "\n").collect();
+    std::fs::write(out.join("lariat.jsonl"), lariat).unwrap();
+    let syslog: String = ds
+        .syslog
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("serialises") + "\n")
+        .collect();
+    std::fs::write(out.join("syslog.jsonl"), syslog).unwrap();
+    ds.table.save(&out.join("jobs.jsonl")).unwrap();
+
+    println!(
+        "wrote {:?}: {} raw files ({:.1} MB), {} accounting records, {} jobs ingested",
+        out,
+        ds.archive.len(),
+        ds.raw_total_bytes as f64 / (1024.0 * 1024.0),
+        ds.accounting.len(),
+        ds.table.len(),
+    );
+}
+
+fn reingest(args: &[String]) {
+    let dir = data_dir(args);
+    let archive = RawArchive::read_from_dir(&dir.join("raw"))
+        .unwrap_or_else(|e| die(&format!("reading raw archive: {e}")));
+    let accounting = parse_accounting(
+        &std::fs::read_to_string(dir.join("accounting.log"))
+            .unwrap_or_else(|e| die(&format!("accounting.log: {e}"))),
+    );
+    let lariat = parse_lariat(
+        &std::fs::read_to_string(dir.join("lariat.jsonl"))
+            .unwrap_or_else(|e| die(&format!("lariat.jsonl: {e}"))),
+    );
+    let (records, stats) = ingest(&archive, &accounting, &lariat);
+    let table = JobTable::new(records);
+    table.save(&dir.join("jobs.jsonl")).unwrap();
+    println!(
+        "ingested {} jobs from {} files ({} intervals, {} parse errors)",
+        table.len(),
+        stats.files,
+        stats.intervals,
+        stats.parse_errors
+    );
+}
+
+fn load_jobs(dir: &Path) -> JobTable {
+    JobTable::load(&dir.join("jobs.jsonl"))
+        .unwrap_or_else(|e| die(&format!("jobs.jsonl: {e} (run `supremm simulate` or `ingest` first)")))
+}
+
+fn report(args: &[String]) {
+    let dir = data_dir(args);
+    let kind = arg_value(args, "--kind").unwrap_or_else(|| "top-apps".into());
+    let table = load_jobs(&dir);
+    match kind.as_str() {
+        "top-apps" => {
+            let ds = run_query(
+                &table,
+                &Query {
+                    dimension: Dimension::Application,
+                    statistic: Statistic::NodeHours,
+                    filters: vec![],
+                },
+            );
+            print!("{}", to_ascii_table("node-hours by application", &ds, "node_hours"));
+        }
+        "top-users" => {
+            let ds = run_query(
+                &table,
+                &Query {
+                    dimension: Dimension::User,
+                    statistic: Statistic::NodeHours,
+                    filters: vec![],
+                },
+            );
+            let mut top = ds;
+            top.rows.truncate(10);
+            print!("{}", to_ascii_table("top users by node-hours", &top, "node_hours"));
+        }
+        "efficiency" => {
+            let w = reports::wasted_hours(&table);
+            println!(
+                "machine average efficiency: {:.1}% over {} users",
+                w.average_efficiency * 100.0,
+                w.points.len()
+            );
+            if let Some(worst) = w.worst_heavy_offender(0.5) {
+                println!(
+                    "worst heavy offender: {} ({:.0} node-hrs at {:.0}% idle)",
+                    worst.key,
+                    worst.usage.node_hours,
+                    worst.usage.idle_frac() * 100.0
+                );
+            }
+        }
+        "science" => {
+            let ds = run_query(
+                &table,
+                &Query {
+                    dimension: Dimension::ScienceField,
+                    statistic: Statistic::NodeHours,
+                    filters: vec![],
+                },
+            );
+            print!("{}", to_ascii_table("node-hours by parent science", &ds, "node_hours"));
+        }
+        "user" => {
+            let user = arg_value(args, "--user")
+                .and_then(|v| v.parse().ok())
+                .map(supremm_metrics::UserId)
+                .unwrap_or_else(|| die("--user <id> required for the user report"));
+            match reports::user_report(&table, user) {
+                Some(r) => print!("{}", r.render()),
+                None => die(&format!("user {user} has no jobs in the warehouse")),
+            }
+        }
+        "monthly" => {
+            // The full center report needs the system series too.
+            let archive = RawArchive::read_from_dir(&dir.join("raw"))
+                .unwrap_or_else(|e| die(&format!("reading raw archive: {e}")));
+            let series = SystemSeries::from_archive(&archive, 600);
+            let nodes = archive.host_count() as u32;
+            let md = build_report(
+                &ReportSpec::center_monthly(),
+                &ReportInputs {
+                    table: &table,
+                    series: &series,
+                    node_count: nodes,
+                    cores_per_node: 16,
+                    window: format!("{} raw files", archive.len()),
+                    machine: "simulated".into(),
+                },
+            );
+            let out = dir.join("REPORT.md");
+            std::fs::write(&out, &md).unwrap_or_else(|e| die(&format!("writing report: {e}")));
+            println!("wrote {out:?} ({} bytes)", md.len());
+        }
+        other => die(&format!(
+            "unknown report kind {other:?} (top-apps|top-users|efficiency|science|user|monthly)"
+        )),
+    }
+}
+
+fn serve_cmd(args: &[String]) {
+    let dir = data_dir(args);
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let table = load_jobs(&dir);
+    let listener = std::net::TcpListener::bind(&addr)
+        .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    println!("serving {} jobs on http://{addr} (ctrl-c to stop)", table.len());
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    supremm_xdmod::serve::serve(&table, listener, &shutdown)
+        .unwrap_or_else(|e| die(&format!("serve: {e}")));
+}
+
+fn diagnose_cmd(args: &[String]) {
+    let dir = data_dir(args);
+    let table = load_jobs(&dir);
+    let syslog: Vec<RatRecord> = std::fs::read_to_string(dir.join("syslog.jsonl"))
+        .unwrap_or_else(|e| die(&format!("syslog.jsonl: {e}")))
+        .lines()
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .collect();
+    // Capacity inferred from the larger preset if unknown; good enough
+    // for the corroboration heuristic.
+    let capacity = 32.0 * 1.073_741_824e9;
+    let diagnoses = diagnose::diagnose_failures(&table, &syslog, capacity);
+    println!("{} abnormal terminations", diagnoses.len());
+    for (cause, n) in diagnose::failure_profile(&diagnoses) {
+        println!("  {:<20} {n}", cause.name());
+    }
+    for d in diagnoses.iter().take(10) {
+        println!("  job {} ({}): {} — {}", d.job, d.exit.name(), d.cause.name(), d.note);
+    }
+}

@@ -1,0 +1,27 @@
+//! `supremm-core`: the integrated SUPReMM tool chain.
+//!
+//! The paper's headline contribution is not any single tool but their
+//! *systematic integration* (§1.3): TACC_Stats measurements, rationalized
+//! logs, Lariat summaries and scheduler accounting flowing into one
+//! warehouse that feeds the XDMoD reporting framework. This crate is that
+//! integration:
+//!
+//! - [`pipeline`] drives a simulated machine end-to-end — workload →
+//!   kernels → collectors/logs → archive → ingest → warehouse +
+//!   system time series — producing a [`pipeline::MachineDataset`];
+//! - [`experiments`] wraps each table/figure of the paper as a callable
+//!   experiment over a `MachineDataset` (used by the `repro` binary, the
+//!   examples and EXPERIMENTS.md);
+//! - [`prelude`] re-exports the types downstream binaries want.
+
+pub mod experiments;
+pub mod pipeline;
+
+pub mod prelude {
+    pub use crate::experiments;
+    pub use crate::pipeline::{run_pipeline, MachineDataset, PipelineOptions};
+    pub use supremm_clustersim::ClusterConfig;
+    pub use supremm_metrics::{ExtendedMetric, KeyMetric};
+    pub use supremm_warehouse::{JobTable, SystemSeries};
+    pub use supremm_xdmod::reports;
+}

@@ -1,0 +1,339 @@
+//! The end-to-end pipeline: Figure 1 of the paper as code.
+//!
+//! The real deployment's flow — per-node TACC_Stats raw files, scheduler
+//! accounting, rationalized syslog, Lariat summaries, all ingested into a
+//! warehouse from which XDMoD serves reports — is reproduced faithfully,
+//! with the cluster simulator standing in for the machine:
+//!
+//! ```text
+//! clustersim ──activity──▶ procsim kernels
+//!      │                        │
+//!      │ job events        reads│
+//!      ▼                        ▼
+//!  scheduler hooks ───▶ taccstats fleet ──▶ RawArchive
+//!      │                                        │
+//!      ├──▶ accounting log      ┌───────────────┤
+//!      ├──▶ lariat log          ▼               ▼
+//!      └──▶ raw syslog ──▶ warehouse::ingest  SystemSeries
+//!                               │
+//!                               ▼
+//!                         JobTable ──▶ xdmod reports
+//! ```
+
+use std::collections::HashSet;
+
+use supremm_clustersim::job::{CompletedJob, ExitStatus};
+use supremm_clustersim::{ClusterConfig, Simulation};
+use supremm_metrics::{HostId, JobId, Timestamp};
+use supremm_ratlog::accounting::AccountingRecord;
+use supremm_ratlog::lariat::{exe_for_app, libraries_for, LariatRecord};
+use supremm_ratlog::syslog::{self, RatRecord};
+use supremm_taccstats::fleet::FleetCollector;
+use supremm_taccstats::RawArchive;
+use supremm_warehouse::{ingest, IngestStats, JobTable, SystemSeries};
+
+/// Pipeline tuning.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Bin width of the assembled system series (defaults to the
+    /// sampling interval).
+    pub series_bin_secs: Option<u64>,
+    /// Keep the raw archive in the result (it is by far the largest
+    /// artifact; reports only need the table + series).
+    pub keep_archive: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions { series_bin_secs: None, keep_archive: true }
+    }
+}
+
+/// Everything the tool chain produces for one machine.
+pub struct MachineDataset {
+    pub cfg: ClusterConfig,
+    /// Raw collector output (empty if `keep_archive` was false).
+    pub archive: RawArchive,
+    /// Raw-archive volume statistics, captured before any drop.
+    pub raw_total_bytes: u64,
+    pub raw_mean_bytes_per_node_day: f64,
+    /// The warehouse job table.
+    pub table: JobTable,
+    pub ingest_stats: IngestStats,
+    /// Cluster-wide time series.
+    pub series: SystemSeries,
+    /// Ground-truth accounting/lariat/syslog streams.
+    pub accounting: Vec<AccountingRecord>,
+    pub lariat: Vec<LariatRecord>,
+    pub syslog: Vec<RatRecord>,
+    /// Jobs submitted by the simulator (includes still-queued ones).
+    pub submitted_jobs: u64,
+}
+
+fn exit_to_failed_code(e: ExitStatus) -> u32 {
+    match e {
+        ExitStatus::Completed => 0,
+        ExitStatus::Failed => 1,
+        ExitStatus::NodeFailure => 19,
+        ExitStatus::Cancelled => 100,
+    }
+}
+
+fn accounting_of(job: &CompletedJob) -> AccountingRecord {
+    AccountingRecord {
+        queue: if job.spec.nodes >= 16 { "large" } else { "normal" }.to_string(),
+        owner: job.spec.user,
+        job: job.spec.id,
+        account: job.spec.science,
+        submit: job.spec.submit,
+        start: job.start,
+        end: job.end,
+        failed: exit_to_failed_code(job.exit),
+        exit_status: if job.exit == ExitStatus::Failed { 137 } else { 0 },
+        nodes: job.spec.nodes,
+        slots: job.spec.nodes * 16,
+        hosts: job.hosts.clone(),
+    }
+}
+
+/// Raw syslog lines a step's events would generate on a real machine.
+fn syslog_lines_for_step(
+    ended: &[CompletedJob],
+    papi_hosts: &[HostId],
+    node_up: &[bool],
+    ts: Timestamp,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for job in ended {
+        let host = job.hosts[0];
+        match job.exit {
+            ExitStatus::Failed => {
+                // Failures announce themselves (§4.3.1's precursors): OOM
+                // kills when the job was flying near the memory ceiling,
+                // soft lockups otherwise.
+                if job.mem_frac > 0.85 {
+                    lines.push(syslog::raw_oom(ts, host, "a.out", 9000 + job.spec.id.0 as u32));
+                } else {
+                    lines.push(syslog::raw_soft_lockup(ts, host, 3, 67));
+                }
+            }
+            ExitStatus::Cancelled => {
+                lines.push(syslog::raw_wallclock(ts, host, job.spec.id));
+            }
+            ExitStatus::NodeFailure => {
+                for &h in &job.hosts {
+                    if !node_up[h.0 as usize] {
+                        lines.push(syslog::raw_node_state(ts, h, false));
+                    }
+                }
+                lines.push(syslog::raw_lustre_error(ts, host, "scratch-OST0003", -107));
+            }
+            ExitStatus::Completed => {}
+        }
+    }
+    for &h in papi_hosts {
+        // PAPI sessions often coincide with MCE-counter reads showing up
+        // in logs; emit a benign hardware-event line.
+        lines.push(syslog::raw_mce(ts, h, 0, 4));
+    }
+    // Ambient noise: one ntpd line per step from a rotating host.
+    if !node_up.is_empty() {
+        let h = HostId((ts.0 / 600 % node_up.len() as u64) as u32);
+        if node_up[h.0 as usize] {
+            lines.push(syslog::raw_noise(ts, h));
+        }
+    }
+    lines
+}
+
+/// Run the whole tool chain over one simulated machine.
+pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDataset {
+    let mut sim = Simulation::new(cfg.clone());
+    let mut fleet = FleetCollector::new(cfg.node_count);
+    let mut accounting: Vec<AccountingRecord> = Vec::new();
+    let mut lariat: Vec<LariatRecord> = Vec::new();
+    let mut syslog_records: Vec<RatRecord> = Vec::new();
+    // Current host → job assignment, for the rationalizer's job tagging.
+    let mut owner: Vec<Option<JobId>> = vec![None; cfg.node_count as usize];
+
+    while !sim.is_done() {
+        let ev = sim.step();
+        let mut touched: HashSet<HostId> = HashSet::new();
+
+        // Job endings: final sample + end mark on surviving nodes, then
+        // the accounting record.
+        for job in &ev.ended {
+            let up_hosts: Vec<HostId> = job
+                .hosts
+                .iter()
+                .copied()
+                .filter(|h| sim.node_up()[h.0 as usize])
+                .collect();
+            fleet.end_job(sim.kernels_mut(), &up_hosts, job.spec.id, ev.ts);
+            touched.extend(up_hosts);
+            accounting.push(accounting_of(job));
+            for &h in &job.hosts {
+                owner[h.0 as usize] = None;
+            }
+        }
+
+        // Raw syslog for this step, rationalized with the *pre-start*
+        // ownership map (events refer to the jobs that just ran).
+        let raw_lines =
+            syslog_lines_for_step(&ev.ended, &ev.papi_clobbers, sim.node_up(), ev.ts);
+        // Ended jobs' messages should still map to them.
+        let mut ended_owner = owner.clone();
+        for job in &ev.ended {
+            for &h in &job.hosts {
+                ended_owner[h.0 as usize] = Some(job.spec.id);
+            }
+        }
+        syslog_records.extend(syslog::rationalize(raw_lines, |h, _| {
+            ended_owner.get(h.0 as usize).copied().flatten()
+        }));
+
+        // Job starts: counter programming + begin mark + first sample,
+        // plus the Lariat record.
+        for (spec, hosts) in &ev.started {
+            fleet.begin_job(sim.kernels_mut(), hosts, spec.id, ev.ts);
+            touched.extend(hosts.iter().copied());
+            for &h in hosts {
+                owner[h.0 as usize] = Some(spec.id);
+            }
+            let app_name = sim.catalog().get(spec.app).name;
+            lariat.push(LariatRecord {
+                job: spec.id,
+                user: spec.user,
+                exe: exe_for_app(app_name).to_string(),
+                app_name: app_name.to_string(),
+                nodes: spec.nodes,
+                threads_per_rank: 1,
+                libraries: libraries_for(app_name),
+            });
+        }
+
+        // Periodic samples everywhere else.
+        fleet.sample_all_except(sim.kernels(), sim.node_up(), ev.ts, &touched);
+    }
+
+    let archive = fleet.into_archive();
+    let raw_total_bytes = archive.total_bytes();
+    let raw_mean = archive.mean_bytes_per_node_day();
+    let (records, ingest_stats) = ingest(&archive, &accounting, &lariat);
+    let table = JobTable::new(records);
+    let bin = opts.series_bin_secs.unwrap_or(cfg.interval.seconds());
+    let series = SystemSeries::from_archive(&archive, bin);
+
+    MachineDataset {
+        cfg,
+        archive: if opts.keep_archive { archive } else { RawArchive::new() },
+        raw_total_bytes,
+        raw_mean_bytes_per_node_day: raw_mean,
+        table,
+        ingest_stats,
+        series,
+        accounting,
+        lariat,
+        syslog: syslog_records,
+        submitted_jobs: sim.total_submitted(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supremm_metrics::KeyMetric;
+
+    fn tiny_dataset() -> MachineDataset {
+        let cfg = ClusterConfig::ranger().scaled(24, 3);
+        run_pipeline(cfg, &PipelineOptions::default())
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_artifacts() {
+        let ds = tiny_dataset();
+        assert!(ds.table.len() > 20, "jobs ingested: {}", ds.table.len());
+        assert_eq!(ds.accounting.len(), ds.table.len() + ds.ingest_stats.jobs_missing_samples);
+        assert!(ds.ingest_stats.parse_errors == 0);
+        // Every ingested job's app resolved or absent, never bogus.
+        for j in ds.table.jobs() {
+            if let Some(app) = &j.app {
+                assert!(ds.lariat.iter().any(|l| l.app_name == *app));
+            }
+        }
+        // Raw archive volume in the right ballpark (paper: ~0.5 MB/node/day).
+        let mb = ds.raw_mean_bytes_per_node_day / (1024.0 * 1024.0);
+        assert!(mb > 0.05 && mb < 5.0, "{mb} MB/node/day");
+    }
+
+    #[test]
+    fn table_metrics_are_physical() {
+        let ds = tiny_dataset();
+        for j in ds.table.jobs() {
+            let idle = j.metrics.get(KeyMetric::CpuIdle);
+            assert!((0.0..=1.0).contains(&idle), "idle {idle}");
+            let mem = j.metrics.get(KeyMetric::MemUsed);
+            assert!((0.0..=32.5e9).contains(&mem), "mem {mem}");
+            let memmax = j.metrics.get(KeyMetric::MemUsedMax);
+            assert!(memmax + 1.0 >= mem, "max {memmax} < mean {mem}");
+        }
+    }
+
+    #[test]
+    fn series_covers_the_simulated_span() {
+        let ds = tiny_dataset();
+        let last = ds.series.bins.last().unwrap();
+        assert!(last.ts.0 >= 3 * 86_400 - 1200);
+        // Active nodes never exceed the machine size.
+        for bin in &ds.series.bins {
+            assert!(bin.active_nodes <= 24);
+        }
+    }
+
+    #[test]
+    fn syslog_records_are_job_tagged_for_failures() {
+        let ds = tiny_dataset();
+        let failure_msgs: Vec<_> = ds
+            .syslog
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    supremm_ratlog::EventCode::OomKill | supremm_ratlog::EventCode::SoftLockup
+                )
+            })
+            .collect();
+        if !failure_msgs.is_empty() {
+            assert!(
+                failure_msgs.iter().all(|r| r.job.is_some()),
+                "failure messages must carry the job id"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_archive_option_saves_memory_but_keeps_stats() {
+        let cfg = ClusterConfig::ranger().scaled(8, 1);
+        let ds = run_pipeline(cfg, &PipelineOptions { keep_archive: false, ..Default::default() });
+        assert!(ds.archive.is_empty());
+        assert!(ds.raw_total_bytes > 0);
+        assert!(!ds.table.is_empty());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let run = || {
+            let ds = run_pipeline(
+                ClusterConfig::ranger().scaled(12, 1),
+                &PipelineOptions { keep_archive: false, ..Default::default() },
+            );
+            (
+                ds.table.len(),
+                ds.table.total_node_hours(),
+                ds.accounting.len(),
+                ds.syslog.len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

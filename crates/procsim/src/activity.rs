@@ -1,0 +1,165 @@
+//! What happened on a node during a slice of simulated time.
+//!
+//! [`NodeActivity`] is the interface between the workload model and the
+//! kernel counters: the simulator decides *what the job did*; the kernel
+//! state turns that into counter increments with proper semantics.
+
+/// Resource activity on one node over one time slice.
+///
+/// CPU fields are node-level fractions of total CPU time; size fields are
+/// totals over the slice (bytes / operations); gauge fields are the value
+/// at the *end* of the slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeActivity {
+    /// Fraction of CPU time in user space, `[0, 1]`.
+    pub user_frac: f64,
+    /// Fraction of CPU time in the kernel.
+    pub system_frac: f64,
+    /// Fraction of CPU time waiting on I/O (counted as not-idle by the
+    /// paper's cpu_idle definition only if the job owns it; we follow
+    /// /proc/stat and report it separately).
+    pub iowait_frac: f64,
+
+    /// Floating-point operations performed during the slice.
+    pub flops: f64,
+    /// Memory accesses performed during the slice (cache-line grain).
+    /// Zero means "derive from flops" (the 1.5/flop rule of thumb);
+    /// bandwidth-bound kernels set it explicitly.
+    pub mem_accesses: f64,
+
+    /// Memory in use at end of slice (bytes), including page cache —
+    /// the paper's `mem_used` definition includes the kernel disk
+    /// buffer/cache.
+    pub mem_used_bytes: u64,
+    /// Of which page cache (bytes).
+    pub mem_cached_bytes: u64,
+
+    /// Lustre traffic during the slice (bytes), per mount.
+    pub scratch_read_bytes: u64,
+    pub scratch_write_bytes: u64,
+    pub work_read_bytes: u64,
+    pub work_write_bytes: u64,
+    pub share_read_bytes: u64,
+    pub share_write_bytes: u64,
+
+    /// Interconnect traffic during the slice (bytes).
+    pub ib_tx_bytes: u64,
+    pub ib_rx_bytes: u64,
+    /// Lustre networking traffic (bytes); rides the same fabric but is
+    /// counted by LNET.
+    pub lnet_tx_bytes: u64,
+    pub lnet_rx_bytes: u64,
+    /// Ethernet traffic (bytes) — NFS and management traffic.
+    pub eth_tx_bytes: u64,
+    pub eth_rx_bytes: u64,
+
+    /// Paging activity (page counts).
+    pub pgfault: u64,
+    pub pgmajfault: u64,
+    pub pswpin: u64,
+    pub pswpout: u64,
+
+    /// Runnable tasks at end of slice.
+    pub nr_running: u32,
+    /// One-minute load average at end of slice.
+    pub load_1: f64,
+
+    /// Fraction of memory accesses satisfied from the local NUMA node.
+    pub numa_local_frac: f64,
+
+    /// SysV shared memory in use at end of slice (bytes).
+    pub sysv_shm_bytes: u64,
+    /// tmpfs usage at end of slice (bytes).
+    pub tmpfs_bytes: u64,
+}
+
+impl NodeActivity {
+    /// A completely idle node (what the kernel does between jobs).
+    pub fn idle() -> NodeActivity {
+        NodeActivity {
+            user_frac: 0.001,
+            system_frac: 0.004,
+            iowait_frac: 0.0,
+            flops: 0.0,
+            mem_accesses: 0.0,
+            mem_used_bytes: 600 << 20, // OS footprint
+            mem_cached_bytes: 200 << 20,
+            scratch_read_bytes: 0,
+            scratch_write_bytes: 0,
+            work_read_bytes: 0,
+            work_write_bytes: 0,
+            share_read_bytes: 0,
+            share_write_bytes: 0,
+            ib_tx_bytes: 0,
+            ib_rx_bytes: 0,
+            lnet_tx_bytes: 0,
+            lnet_rx_bytes: 0,
+            eth_tx_bytes: 10 << 10,
+            eth_rx_bytes: 12 << 10,
+            pgfault: 100,
+            pgmajfault: 0,
+            pswpin: 0,
+            pswpout: 0,
+            nr_running: 0,
+            load_1: 0.01,
+            numa_local_frac: 1.0,
+            sysv_shm_bytes: 0,
+            tmpfs_bytes: 1 << 20,
+        }
+    }
+
+    /// Effective memory accesses: the explicit figure, or the 1.5/flop
+    /// rule when none was given.
+    pub fn effective_mem_accesses(&self) -> f64 {
+        if self.mem_accesses > 0.0 {
+            self.mem_accesses
+        } else {
+            self.flops * 1.5
+        }
+    }
+
+    /// The idle fraction implied by the CPU fields.
+    pub fn idle_frac(&self) -> f64 {
+        (1.0 - self.user_frac - self.system_frac - self.iowait_frac).max(0.0)
+    }
+
+    /// Clamp CPU fractions so they form a valid partition of CPU time.
+    pub fn normalized(mut self) -> NodeActivity {
+        self.user_frac = self.user_frac.clamp(0.0, 1.0);
+        self.system_frac = self.system_frac.clamp(0.0, 1.0);
+        self.iowait_frac = self.iowait_frac.clamp(0.0, 1.0);
+        let total = self.user_frac + self.system_frac + self.iowait_frac;
+        if total > 1.0 {
+            self.user_frac /= total;
+            self.system_frac /= total;
+            self.iowait_frac /= total;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_node_is_mostly_idle() {
+        let a = NodeActivity::idle();
+        assert!(a.idle_frac() > 0.99);
+    }
+
+    #[test]
+    fn normalized_rescales_oversubscribed_cpu() {
+        let a = NodeActivity { user_frac: 0.9, system_frac: 0.3, ..NodeActivity::idle() };
+        let n = a.normalized();
+        let total = n.user_frac + n.system_frac + n.iowait_frac;
+        assert!(total <= 1.0 + 1e-12);
+        assert!((n.user_frac / n.system_frac - 3.0).abs() < 1e-9, "ratio preserved");
+    }
+
+    #[test]
+    fn normalized_clamps_negatives() {
+        let a = NodeActivity { user_frac: -0.5, ..NodeActivity::idle() };
+        assert_eq!(a.normalized().user_frac, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! `supremm-procsim`: a simulated Linux kernel counter surface.
+//!
+//! The real TACC_Stats reads `/proc`, `/sys` and the performance-counter
+//! MSRs of every compute node (§3 of the paper). We do not have Ranger or
+//! Lonestar4, so this crate provides the substitution: a per-node
+//! [`KernelState`] that maintains *cumulative counters with kernel
+//! semantics* — monotonic event counters in jiffies/bytes/counts, gauge
+//! values, per-core / per-socket / per-device instance layout, narrow
+//! (32-bit) InfiniBand registers that wrap, and a programmable
+//! performance-counter model with the AMD Opteron and Intel
+//! Nehalem/Westmere event sets the paper lists.
+//!
+//! The workload simulator (`supremm-clustersim`) drives counters forward by
+//! applying [`NodeActivity`] slices; the collector (`supremm-taccstats`)
+//! reads them through the [`KernelSource`] trait exactly where the real
+//! collector would read procfs. Counter *semantics* (monotonicity, wrap,
+//! reprogram-clears) are preserved so the collector's delta/wrap/reprogram
+//! logic is genuinely exercised.
+
+pub mod activity;
+pub mod kernel;
+pub mod node;
+pub mod perfctr;
+
+pub use activity::NodeActivity;
+pub use kernel::{DeviceReading, KernelSource, KernelState};
+pub use node::{CpuArch, NodeSpec};
+pub use perfctr::{PerfCounterSet, PerfEvent, COUNTERS_PER_CORE};
+
+/// Scheduler ticks per second on the simulated kernel.
+pub const JIFFIES_PER_SEC: u64 = 100;

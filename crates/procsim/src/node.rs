@@ -1,0 +1,179 @@
+//! Hardware description of a simulated compute node.
+
+use crate::perfctr::PerfEvent;
+
+/// CPU microarchitecture, which determines the performance-counter event
+/// set TACC_Stats programs at job start (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuArch {
+    /// Ranger: quad-socket quad-core AMD Opteron "Barcelona".
+    AmdOpteron,
+    /// Lonestar4: dual-socket hexa-core Intel Xeon 5680 (Westmere).
+    IntelWestmere,
+}
+
+impl CpuArch {
+    /// The events TACC_Stats programs on this architecture, in counter
+    /// order. The paper: on AMD Opteron — FLOPS, memory accesses, data
+    /// cache fills and SMP/NUMA traffic; on Intel Nehalem/Westmere —
+    /// FLOPS, SMP/NUMA traffic, and L1 data cache hits (one counter left
+    /// free for the user).
+    pub fn tacc_stats_events(self) -> [Option<PerfEvent>; 4] {
+        match self {
+            CpuArch::AmdOpteron => [
+                Some(PerfEvent::Flops),
+                Some(PerfEvent::MemAccesses),
+                Some(PerfEvent::DCacheFills),
+                Some(PerfEvent::NumaTraffic),
+            ],
+            CpuArch::IntelWestmere => [
+                Some(PerfEvent::Flops),
+                Some(PerfEvent::NumaTraffic),
+                Some(PerfEvent::L1DHits),
+                None,
+            ],
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuArch::AmdOpteron => "amd64_core",
+            CpuArch::IntelWestmere => "intel_wtm",
+        }
+    }
+}
+
+/// Static hardware configuration of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    pub arch: CpuArch,
+    /// Total cores (sockets × cores-per-socket).
+    pub cores: u32,
+    pub sockets: u32,
+    /// Nominal clock, GHz.
+    pub clock_ghz: f64,
+    /// Physical memory, bytes.
+    pub mem_bytes: u64,
+    /// Peak double-precision GFLOP/s for the whole node (used only by
+    /// reports that compare achieved to peak, e.g. Fig 9/10).
+    pub peak_gflops: f64,
+    /// InfiniBand HCA port count.
+    pub ib_ports: u32,
+    /// Ethernet device names.
+    pub eth_devices: Vec<&'static str>,
+    /// Lustre client mounts (e.g. "scratch", "work", "share").
+    pub lustre_mounts: Vec<&'static str>,
+    /// Local block devices.
+    pub block_devices: Vec<&'static str>,
+}
+
+impl NodeSpec {
+    /// A Ranger compute node: four 2.3 GHz AMD Opteron quad-cores (16
+    /// cores), 32 GB, Lustre (scratch/work/share), InfiniBand.
+    pub fn ranger() -> NodeSpec {
+        NodeSpec {
+            arch: CpuArch::AmdOpteron,
+            cores: 16,
+            sockets: 4,
+            clock_ghz: 2.3,
+            // 16 cores × 2.3 GHz × 4 flops/cycle (SSE2) = 147.2 GF/node;
+            // 3936 nodes × 147.2 ≈ 579 TF, the paper's benchmarked peak.
+            peak_gflops: 147.2,
+            mem_bytes: 32 << 30,
+            ib_ports: 1,
+            eth_devices: vec!["eth0"],
+            lustre_mounts: vec!["scratch", "work", "share"],
+            block_devices: vec!["sda"],
+        }
+    }
+
+    /// A Lonestar4 compute node: two 3.33 GHz Intel Xeon 5680 hexa-cores
+    /// (12 cores), 24 GB, Lustre + NFS, InfiniBand.
+    pub fn lonestar4() -> NodeSpec {
+        NodeSpec {
+            arch: CpuArch::IntelWestmere,
+            cores: 12,
+            sockets: 2,
+            clock_ghz: 3.33,
+            // 12 × 3.33 GHz × 4 flops/cycle ≈ 160 GF/node.
+            peak_gflops: 159.8,
+            mem_bytes: 24 << 30,
+            ib_ports: 1,
+            eth_devices: vec!["eth0"],
+            lustre_mounts: vec!["scratch", "work"],
+            block_devices: vec!["sda"],
+        }
+    }
+
+    /// A Stampede compute node (§5: "TACC_Stats will soon be deployed on
+    /// TACC's Stampede"): two 2.7 GHz Intel Xeon E5-2680 octa-cores
+    /// (16 cores), 32 GB, Lustre, FDR InfiniBand. Included as the
+    /// forward-deployment target; the Sandy Bridge counters use the same
+    /// Intel event set as Westmere in this model.
+    pub fn stampede() -> NodeSpec {
+        NodeSpec {
+            arch: CpuArch::IntelWestmere,
+            cores: 16,
+            sockets: 2,
+            clock_ghz: 2.7,
+            // 16 × 2.7 GHz × 8 flops/cycle (AVX) ≈ 346 GF/node.
+            peak_gflops: 345.6,
+            mem_bytes: 32 << 30,
+            ib_ports: 1,
+            eth_devices: vec!["eth0"],
+            lustre_mounts: vec!["scratch", "work"],
+            block_devices: vec!["sda"],
+        }
+    }
+
+    pub fn cores_per_socket(&self) -> u32 {
+        self.cores / self.sockets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranger_matches_paper_hardware() {
+        let n = NodeSpec::ranger();
+        assert_eq!(n.cores, 16);
+        assert_eq!(n.sockets, 4);
+        assert_eq!(n.mem_bytes, 32 << 30);
+        assert_eq!(n.arch, CpuArch::AmdOpteron);
+        // 3936 nodes at this per-node peak give the benchmarked 579 TF.
+        let system_tf = 3936.0 * n.peak_gflops / 1000.0;
+        assert!((system_tf - 579.0).abs() < 1.0, "{system_tf}");
+    }
+
+    #[test]
+    fn lonestar4_matches_paper_hardware() {
+        let n = NodeSpec::lonestar4();
+        assert_eq!(n.cores, 12);
+        assert_eq!(n.sockets, 2);
+        assert_eq!(n.mem_bytes, 24 << 30);
+        assert_eq!(n.arch, CpuArch::IntelWestmere);
+        assert_eq!(n.cores_per_socket(), 6);
+    }
+
+    #[test]
+    fn stampede_matches_published_hardware() {
+        let n = NodeSpec::stampede();
+        assert_eq!(n.cores, 16);
+        assert_eq!(n.mem_bytes, 32 << 30);
+        // 6400 nodes × 345.6 GF ≈ 2.2 PF, Stampede's base-cluster peak.
+        let system_pf = 6400.0 * n.peak_gflops / 1e6;
+        assert!((system_pf - 2.2).abs() < 0.1, "{system_pf}");
+    }
+
+    #[test]
+    fn amd_programs_four_events_intel_three() {
+        let amd = CpuArch::AmdOpteron.tacc_stats_events();
+        assert!(amd.iter().all(|e| e.is_some()));
+        let intel = CpuArch::IntelWestmere.tacc_stats_events();
+        assert_eq!(intel.iter().filter(|e| e.is_some()).count(), 3);
+        assert_eq!(amd[0], Some(PerfEvent::Flops));
+        assert_eq!(intel[0], Some(PerfEvent::Flops));
+    }
+}

@@ -1,0 +1,97 @@
+//! `taccstats-cat` — inspect and validate raw TACC_Stats files.
+//!
+//! ```text
+//! taccstats-cat <file>...          summary of each file
+//! taccstats-cat --jobs <file>...   per-job sample counts
+//! taccstats-cat --check <file>...  validate only; exit 1 on any error
+//! ```
+//!
+//! The self-describing format means this tool needs no configuration: the
+//! schema ships inside every file (§3's answer to the format-zoo problem).
+
+use std::collections::BTreeMap;
+
+use supremm_taccstats::format::{parse, JobMark};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs_mode = false;
+    let mut check_mode = false;
+    let mut files = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--jobs" => jobs_mode = true,
+            "--check" => check_mode = true,
+            "--help" | "-h" => {
+                println!("usage: taccstats-cat [--jobs|--check] <file>...");
+                return;
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: taccstats-cat [--jobs|--check] <file>...");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match parse(&text) {
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failures += 1;
+            }
+            Ok(parsed) => {
+                if check_mode {
+                    println!("{path}: ok");
+                    continue;
+                }
+                println!(
+                    "{path}: host {} arch {} cores {} | {} classes, {} records, {} marks",
+                    parsed.hostname,
+                    parsed.arch,
+                    parsed.cores,
+                    parsed.classes.len(),
+                    parsed.records().count(),
+                    parsed.marks().count()
+                );
+                if jobs_mode {
+                    let mut per_job: BTreeMap<u64, (usize, bool, bool)> = BTreeMap::new();
+                    for rec in parsed.records() {
+                        if let Some(j) = rec.job {
+                            per_job.entry(j.0).or_default().0 += 1;
+                        }
+                    }
+                    for mark in parsed.marks() {
+                        match mark {
+                            JobMark::Begin { job, .. } => {
+                                per_job.entry(job.0).or_default().1 = true;
+                            }
+                            JobMark::End { job, .. } => {
+                                per_job.entry(job.0).or_default().2 = true;
+                            }
+                        }
+                    }
+                    for (job, (samples, begun, ended)) in per_job {
+                        println!(
+                            "  job {job}: {samples} samples{}{}",
+                            if begun { "" } else { " [no begin mark]" },
+                            if ended { "" } else { " [no end mark]" }
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,495 @@
+//! The unified, self-describing plain-text format (§3).
+//!
+//! One raw file per host per day. Layout:
+//!
+//! ```text
+//! $tacc_stats 2.0
+//! $hostname c0412
+//! $arch amd64_core
+//! $cores 16
+//! $timestamp 86400
+//! !cpu user,E,U=J nice,E,U=J system,E,U=J idle,E,U=J ...
+//! !mem MemTotal,U=KB MemFree,U=KB ...
+//! ... (one ! line per collected device class)
+//! % begin 4321 86400
+//! T 86400 4321
+//! cpu 0 120 0 13 467 0 0 0
+//! cpu 1 118 0 14 468 0 0 0
+//! mem 0 8388608 6291456 51200 204800 2097152 2048 1843200 40960
+//! ...
+//! T 87000 4321
+//! ...
+//! % end 4321 129600
+//! T 129600 -
+//! ...
+//! ```
+//!
+//! `$` lines are file metadata, `!` lines carry the schema (making every
+//! file parseable with no out-of-band knowledge — the paper's answer to
+//! the "many different formats" problem of stock Linux tools), `%` lines
+//! are job-boundary marks, `T` lines start a timestamped record, and the
+//! remaining lines are `class device value...` in schema order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use supremm_metrics::schema::DeviceClass;
+use supremm_metrics::{JobId, Timestamp};
+use supremm_procsim::DeviceReading;
+
+/// Format version emitted by this writer.
+pub const FORMAT_VERSION: &str = "2.0";
+
+/// A job-boundary mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobMark {
+    Begin { job: JobId, at: Timestamp },
+    End { job: JobId, at: Timestamp },
+}
+
+/// One timestamped record: every device class instance read at `ts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub ts: Timestamp,
+    /// The job running on the node at sample time; `None` when idle.
+    pub job: Option<JobId>,
+    pub readings: BTreeMap<DeviceClass, Vec<DeviceReading>>,
+}
+
+/// Either a record or a mark, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    Record(Record),
+    Mark(JobMark),
+}
+
+/// A fully parsed raw file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFile {
+    pub hostname: String,
+    pub arch: String,
+    pub cores: u32,
+    /// First timestamp covered by the file (rotation boundary).
+    pub start: Timestamp,
+    /// Device classes declared in the schema header, in declaration order.
+    pub classes: Vec<DeviceClass>,
+    pub samples: Vec<Sample>,
+}
+
+impl ParsedFile {
+    /// Iterate only the records.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.samples.iter().filter_map(|s| match s {
+            Sample::Record(r) => Some(r),
+            Sample::Mark(_) => None,
+        })
+    }
+
+    /// Iterate only the marks.
+    pub fn marks(&self) -> impl Iterator<Item = &JobMark> {
+        self.samples.iter().filter_map(|s| match s {
+            Sample::Mark(m) => Some(m),
+            Sample::Record(_) => None,
+        })
+    }
+}
+
+/// Incremental writer for one raw file.
+#[derive(Debug, Clone)]
+pub struct FileWriter {
+    buf: String,
+    classes: Vec<DeviceClass>,
+}
+
+impl FileWriter {
+    /// Start a file: emit `$` metadata and the `!` schema block.
+    pub fn new(
+        hostname: &str,
+        arch: &str,
+        cores: u32,
+        start: Timestamp,
+        classes: &[DeviceClass],
+    ) -> FileWriter {
+        let mut buf = String::with_capacity(4096);
+        let _ = writeln!(buf, "$tacc_stats {FORMAT_VERSION}");
+        let _ = writeln!(buf, "$hostname {hostname}");
+        let _ = writeln!(buf, "$arch {arch}");
+        let _ = writeln!(buf, "$cores {cores}");
+        let _ = writeln!(buf, "$timestamp {}", start.0);
+        for class in classes {
+            let _ = writeln!(buf, "!{} {}", class.name(), class.schema().header());
+        }
+        FileWriter { buf, classes: classes.to_vec() }
+    }
+
+    pub fn write_mark(&mut self, mark: JobMark) {
+        match mark {
+            JobMark::Begin { job, at } => {
+                let _ = writeln!(self.buf, "% begin {} {}", job.0, at.0);
+            }
+            JobMark::End { job, at } => {
+                let _ = writeln!(self.buf, "% end {} {}", job.0, at.0);
+            }
+        }
+    }
+
+    pub fn write_record(&mut self, rec: &Record) {
+        match rec.job {
+            Some(j) => {
+                let _ = writeln!(self.buf, "T {} {}", rec.ts.0, j.0);
+            }
+            None => {
+                let _ = writeln!(self.buf, "T {} -", rec.ts.0);
+            }
+        }
+        // Emit classes in the declared order for deterministic files.
+        for class in &self.classes {
+            let Some(readings) = rec.readings.get(class) else { continue };
+            for r in readings {
+                let _ = write!(self.buf, "{} {}", class.name(), r.device);
+                for v in &r.values {
+                    let _ = write!(self.buf, " {v}");
+                }
+                self.buf.push('\n');
+            }
+        }
+    }
+
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Errors the parser can report. Every variant carries the 1-based line
+/// number for operator-grade diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    MissingHeader(&'static str),
+    BadLine { line: usize, reason: String },
+    UnknownClass { line: usize, class: String },
+    ArityMismatch { line: usize, class: DeviceClass, got: usize, want: usize },
+    RecordBeforeTimestamp { line: usize },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader(h) => write!(f, "missing ${h} header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::UnknownClass { line, class } => {
+                write!(f, "line {line}: unknown device class {class:?}")
+            }
+            ParseError::ArityMismatch { line, class, got, want } => {
+                write!(f, "line {line}: {class} record has {got} values, schema wants {want}")
+            }
+            ParseError::RecordBeforeTimestamp { line } => {
+                write!(f, "line {line}: device record before any T line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a raw file produced by [`FileWriter`] (or the real tool, modulo
+/// the exact header dialect).
+pub fn parse(text: &str) -> Result<ParsedFile, ParseError> {
+    let mut hostname = None;
+    let mut arch = None;
+    let mut cores = None;
+    let mut start = None;
+    let mut classes: Vec<DeviceClass> = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut current: Option<Record> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        match line.as_bytes()[0] {
+            b'$' => {
+                let mut parts = line[1..].splitn(2, ' ');
+                let key = parts.next().unwrap_or("");
+                let val = parts.next().unwrap_or("").trim();
+                match key {
+                    "hostname" => hostname = Some(val.to_string()),
+                    "arch" => arch = Some(val.to_string()),
+                    "cores" => {
+                        cores = Some(val.parse().map_err(|_| ParseError::BadLine {
+                            line: line_no,
+                            reason: format!("bad core count {val:?}"),
+                        })?)
+                    }
+                    "timestamp" => {
+                        start = Some(Timestamp(val.parse().map_err(|_| {
+                            ParseError::BadLine {
+                                line: line_no,
+                                reason: format!("bad timestamp {val:?}"),
+                            }
+                        })?))
+                    }
+                    // Version and unknown $-keys are tolerated for forward
+                    // compatibility.
+                    _ => {}
+                }
+            }
+            b'!' => {
+                let name = line[1..].split_whitespace().next().unwrap_or("");
+                let class = DeviceClass::from_name(name).ok_or(ParseError::UnknownClass {
+                    line: line_no,
+                    class: name.to_string(),
+                })?;
+                classes.push(class);
+            }
+            b'%' => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 4 {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: "mark needs `% begin|end <job> <ts>`".into(),
+                    });
+                }
+                let job = JobId(parts[2].parse().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("bad job id {:?}", parts[2]),
+                })?);
+                let at = Timestamp(parts[3].parse().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("bad mark timestamp {:?}", parts[3]),
+                })?);
+                let mark = match parts[1] {
+                    "begin" => JobMark::Begin { job, at },
+                    "end" => JobMark::End { job, at },
+                    other => {
+                        return Err(ParseError::BadLine {
+                            line: line_no,
+                            reason: format!("unknown mark kind {other:?}"),
+                        })
+                    }
+                };
+                if let Some(rec) = current.take() {
+                    samples.push(Sample::Record(rec));
+                }
+                samples.push(Sample::Mark(mark));
+            }
+            b'T' => {
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(ParseError::BadLine {
+                        line: line_no,
+                        reason: "T line needs `T <ts> <job|->`".into(),
+                    });
+                }
+                let ts = Timestamp(parts[1].parse().map_err(|_| ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("bad timestamp {:?}", parts[1]),
+                })?);
+                let job = if parts[2] == "-" {
+                    None
+                } else {
+                    Some(JobId(parts[2].parse().map_err(|_| ParseError::BadLine {
+                        line: line_no,
+                        reason: format!("bad job id {:?}", parts[2]),
+                    })?))
+                };
+                if let Some(rec) = current.take() {
+                    samples.push(Sample::Record(rec));
+                }
+                current = Some(Record { ts, job, readings: BTreeMap::new() });
+            }
+            _ => {
+                let mut parts = line.split_whitespace();
+                let class_name = parts.next().unwrap_or("");
+                let class =
+                    DeviceClass::from_name(class_name).ok_or(ParseError::UnknownClass {
+                        line: line_no,
+                        class: class_name.to_string(),
+                    })?;
+                let device = parts
+                    .next()
+                    .ok_or(ParseError::BadLine {
+                        line: line_no,
+                        reason: "device record missing instance name".into(),
+                    })?
+                    .to_string();
+                let values: Vec<u64> = parts
+                    .map(|p| {
+                        p.parse().map_err(|_| ParseError::BadLine {
+                            line: line_no,
+                            reason: format!("bad value {p:?}"),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let want = class.schema().len();
+                if values.len() != want {
+                    return Err(ParseError::ArityMismatch {
+                        line: line_no,
+                        class,
+                        got: values.len(),
+                        want,
+                    });
+                }
+                let rec =
+                    current.as_mut().ok_or(ParseError::RecordBeforeTimestamp { line: line_no })?;
+                rec.readings.entry(class).or_default().push(DeviceReading { device, values });
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        samples.push(Sample::Record(rec));
+    }
+
+    Ok(ParsedFile {
+        hostname: hostname.ok_or(ParseError::MissingHeader("hostname"))?,
+        arch: arch.ok_or(ParseError::MissingHeader("arch"))?,
+        cores: cores.ok_or(ParseError::MissingHeader("cores"))?,
+        start: start.ok_or(ParseError::MissingHeader("timestamp"))?,
+        classes,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(ts: u64, job: Option<u64>) -> Record {
+        let mut readings = BTreeMap::new();
+        readings.insert(
+            DeviceClass::Cpu,
+            vec![
+                DeviceReading { device: "0".into(), values: vec![1, 0, 2, 3, 0, 0, 0] },
+                DeviceReading { device: "1".into(), values: vec![4, 0, 5, 6, 0, 0, 0] },
+            ],
+        );
+        readings.insert(
+            DeviceClass::Lnet,
+            vec![DeviceReading { device: "lnet".into(), values: vec![10, 20, 1, 2, 0] }],
+        );
+        Record { ts: Timestamp(ts), job: job.map(JobId), readings }
+    }
+
+    fn write_small_file() -> String {
+        let classes = [DeviceClass::Cpu, DeviceClass::Lnet];
+        let mut w = FileWriter::new("c0007", "amd64_core", 16, Timestamp(86_400), &classes);
+        w.write_mark(JobMark::Begin { job: JobId(42), at: Timestamp(86_400) });
+        w.write_record(&sample_record(86_400, Some(42)));
+        w.write_record(&sample_record(87_000, Some(42)));
+        w.write_mark(JobMark::End { job: JobId(42), at: Timestamp(87_300) });
+        w.write_record(&sample_record(87_600, None));
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let text = write_small_file();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.hostname, "c0007");
+        assert_eq!(parsed.arch, "amd64_core");
+        assert_eq!(parsed.cores, 16);
+        assert_eq!(parsed.start, Timestamp(86_400));
+        assert_eq!(parsed.classes, vec![DeviceClass::Cpu, DeviceClass::Lnet]);
+        assert_eq!(parsed.records().count(), 3);
+        assert_eq!(parsed.marks().count(), 2);
+        let recs: Vec<_> = parsed.records().collect();
+        assert_eq!(recs[0], &sample_record(86_400, Some(42)));
+        assert_eq!(recs[2].job, None);
+    }
+
+    #[test]
+    fn file_is_self_describing() {
+        // The schema block alone should let a reader reconstruct every
+        // device schema arity — no out-of-band knowledge.
+        let text = write_small_file();
+        for class in [DeviceClass::Cpu, DeviceClass::Lnet] {
+            let tag = format!("!{} ", class.name());
+            assert!(text.contains(&tag), "missing schema line for {class}");
+        }
+        // Each cpu record line has exactly 2 + schema-len fields.
+        let cpu_line =
+            text.lines().find(|l| l.starts_with("cpu 0")).expect("cpu record present");
+        assert_eq!(cpu_line.split_whitespace().count(), 2 + DeviceClass::Cpu.schema().len());
+    }
+
+    #[test]
+    fn marks_flush_open_records_in_order() {
+        let text = write_small_file();
+        let parsed = parse(&text).unwrap();
+        // Order: begin, rec, rec, end, rec.
+        let kinds: Vec<&str> = parsed
+            .samples
+            .iter()
+            .map(|s| match s {
+                Sample::Mark(JobMark::Begin { .. }) => "begin",
+                Sample::Mark(JobMark::End { .. }) => "end",
+                Sample::Record(_) => "rec",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["begin", "rec", "rec", "end", "rec"]);
+    }
+
+    #[test]
+    fn parse_rejects_arity_mismatch() {
+        let bad = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\nT 0 -\nlnet lnet 1 2\n";
+        match parse(bad) {
+            Err(ParseError::ArityMismatch { class: DeviceClass::Lnet, got: 2, want: 5, .. }) => {}
+            other => panic!("expected arity mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_record_before_timestamp() {
+        let bad = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\ncpu 0 1 2 3 4 5 6 7\n";
+        assert!(matches!(parse(bad), Err(ParseError::RecordBeforeTimestamp { line: 5 })));
+    }
+
+    #[test]
+    fn parse_rejects_missing_headers() {
+        assert!(matches!(parse("T 0 -\n"), Err(ParseError::BadLine { .. }) | Err(_)));
+        let no_host = "$arch a\n$cores 1\n$timestamp 0\n";
+        assert_eq!(parse(no_host), Err(ParseError::MissingHeader("hostname")));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let bad = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\nT 5 bogus\n";
+        match parse(bad) {
+            Err(ParseError::BadLine { line: 5, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_dollar_keys_are_tolerated() {
+        let text = format!("$flavor vanilla\n{}", write_small_file());
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn idle_records_have_dash_job() {
+        let text = write_small_file();
+        assert!(text.contains("T 87600 -"));
+    }
+
+    #[test]
+    fn parse_error_display_is_informative() {
+        let e = ParseError::ArityMismatch {
+            line: 7,
+            class: DeviceClass::Cpu,
+            got: 3,
+            want: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains("cpu"), "{s}");
+    }
+}

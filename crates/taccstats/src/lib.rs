@@ -1,0 +1,35 @@
+//! `supremm-taccstats`: the TACC_Stats collector (§3 of the paper).
+//!
+//! TACC_Stats replaces sysstat/SAR for HPC clusters: a single collector
+//! that covers every performance-measurement function, writes one unified,
+//! consistent, **self-describing plain-text format**, and is **batch-job
+//! aware** — records are tagged with the job id so offline job-by-job
+//! profile analysis is possible.
+//!
+//! The pieces, mirroring the real tool's structure:
+//!
+//! - [`format`] — the on-disk format: `$`-header, `!`-schema lines, job
+//!   `%begin`/`%end` marks, timestamped records; writer *and* parser.
+//! - [`collector`] — the per-node collection loop: program performance
+//!   counters at job begin (never at periodic reads, so user-initiated
+//!   measurements survive), sample every device class on the cadence,
+//!   rotate raw files per host per day.
+//! - [`delta`] — turning cumulative counter samples into per-interval
+//!   deltas with register-wrap correction and reboot detection.
+//! - [`derive`] — deriving the paper's measured metrics (cpu_idle,
+//!   mem_used, cpu_flops, io/net rates...) from adjacent samples.
+//! - [`fleet`] — collecting a whole cluster of nodes in parallel.
+//! - [`archive`] — the raw-file store with data-volume accounting (the
+//!   paper reports ~0.5 MB/node/day).
+
+pub mod archive;
+pub mod collector;
+pub mod delta;
+pub mod derive;
+pub mod fleet;
+pub mod format;
+
+pub use archive::{RawArchive, RawFileKey};
+pub use collector::Collector;
+pub use derive::IntervalMetrics;
+pub use format::{JobMark, ParsedFile, Record, Sample};

@@ -1,0 +1,326 @@
+//! System-level time series assembly (Figures 7–11).
+//!
+//! §1: "system level metrics are obtained through aggregation of the node
+//! (job) level data" — exactly what happens here: every host's raw file
+//! is reduced to per-interval metrics and summed into cluster-wide bins:
+//! active nodes (Fig 8), total FLOP/s (Fig 9/10), memory per node
+//! (Fig 11/12), CPU-state shares (Fig 7b), per-mount Lustre throughput
+//! (Fig 7c).
+
+use std::collections::BTreeMap;
+
+use rayon::prelude::*;
+
+use supremm_metrics::{ExtendedMetric, Timestamp};
+use supremm_taccstats::derive::interval_metrics;
+use supremm_taccstats::format::parse;
+use supremm_taccstats::RawArchive;
+
+/// One cluster-wide time bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemBin {
+    /// Bin start.
+    pub ts: Timestamp,
+    /// Hosts that produced a sample in this bin (powered-on nodes).
+    pub active_nodes: u32,
+    /// Hosts whose sample carried a job tag.
+    pub busy_nodes: u32,
+    /// Host-intervals aggregated into this bin.
+    pub intervals: u32,
+    /// Total FLOP/s across the cluster.
+    pub flops: f64,
+    /// Sum of per-node memory used (bytes).
+    pub mem_used_bytes: f64,
+    /// Sums of CPU-state fractions over host-intervals (divide by
+    /// `intervals` for the mean share).
+    pub cpu_user_sum: f64,
+    pub cpu_system_sum: f64,
+    pub cpu_idle_sum: f64,
+    /// Cluster totals, bytes/s.
+    pub scratch_write_bps: f64,
+    pub scratch_read_bps: f64,
+    pub work_write_bps: f64,
+    pub work_read_bps: f64,
+    pub share_write_bps: f64,
+    pub share_read_bps: f64,
+    pub ib_tx_bps: f64,
+    pub lnet_tx_bps: f64,
+}
+
+impl SystemBin {
+    fn absorb(&mut self, m: &supremm_taccstats::IntervalMetrics) {
+        self.intervals += 1;
+        self.flops += m.get(ExtendedMetric::CpuFlops);
+        self.mem_used_bytes += m.get(ExtendedMetric::MemUsed);
+        self.cpu_user_sum += m.get(ExtendedMetric::CpuUser);
+        self.cpu_system_sum += m.get(ExtendedMetric::CpuSystem);
+        self.cpu_idle_sum += m.get(ExtendedMetric::CpuIdle);
+        self.scratch_write_bps += m.get(ExtendedMetric::IoScratchWrite);
+        self.scratch_read_bps += m.get(ExtendedMetric::IoScratchRead);
+        self.work_write_bps += m.get(ExtendedMetric::IoWorkWrite);
+        self.work_read_bps += m.get(ExtendedMetric::IoWorkRead);
+        self.share_write_bps += m.get(ExtendedMetric::IoShareWrite);
+        self.share_read_bps += m.get(ExtendedMetric::IoShareRead);
+        self.ib_tx_bps += m.get(ExtendedMetric::NetIbTx);
+        self.lnet_tx_bps += m.get(ExtendedMetric::NetLnetTx);
+    }
+
+    fn merge(&mut self, other: &SystemBin) {
+        self.active_nodes += other.active_nodes;
+        self.busy_nodes += other.busy_nodes;
+        self.intervals += other.intervals;
+        self.flops += other.flops;
+        self.mem_used_bytes += other.mem_used_bytes;
+        self.cpu_user_sum += other.cpu_user_sum;
+        self.cpu_system_sum += other.cpu_system_sum;
+        self.cpu_idle_sum += other.cpu_idle_sum;
+        self.scratch_write_bps += other.scratch_write_bps;
+        self.scratch_read_bps += other.scratch_read_bps;
+        self.work_write_bps += other.work_write_bps;
+        self.work_read_bps += other.work_read_bps;
+        self.share_write_bps += other.share_write_bps;
+        self.share_read_bps += other.share_read_bps;
+        self.ib_tx_bps += other.ib_tx_bps;
+        self.lnet_tx_bps += other.lnet_tx_bps;
+    }
+
+    /// Mean per-node memory used in this bin (bytes).
+    pub fn mem_per_node(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.mem_used_bytes / self.intervals as f64
+        }
+    }
+
+    /// Mean CPU-state shares `(user, system, idle)`.
+    pub fn cpu_shares(&self) -> (f64, f64, f64) {
+        if self.intervals == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.intervals as f64;
+        (self.cpu_user_sum / n, self.cpu_system_sum / n, self.cpu_idle_sum / n)
+    }
+}
+
+/// The assembled cluster time series.
+#[derive(Debug, Clone)]
+pub struct SystemSeries {
+    pub bin_secs: u64,
+    pub bins: Vec<SystemBin>,
+}
+
+impl SystemSeries {
+    /// Build from a raw archive, binning at `bin_secs` (use the sampling
+    /// interval for full resolution). Parallel over files.
+    pub fn from_archive(archive: &RawArchive, bin_secs: u64) -> SystemSeries {
+        assert!(bin_secs > 0);
+        let files: Vec<&str> = archive.iter().map(|(_, text)| text).collect();
+        let partials: Vec<BTreeMap<u64, SystemBin>> = files
+            .par_iter()
+            .map(|text| {
+                let mut bins: BTreeMap<u64, SystemBin> = BTreeMap::new();
+                let Ok(parsed) = parse(text) else { return bins };
+                let mut prev: Option<&supremm_taccstats::Record> = None;
+                // A host can write two records at one tick (end of one job
+                // + begin of the next); count it once per bin.
+                let mut last_counted_bin = None;
+                for rec in parsed.records() {
+                    let idx = rec.ts.0 / bin_secs;
+                    let bin = bins.entry(idx).or_default();
+                    if last_counted_bin != Some(idx) {
+                        bin.active_nodes += 1;
+                        if rec.job.is_some() {
+                            bin.busy_nodes += 1;
+                        }
+                        last_counted_bin = Some(idx);
+                    }
+                    if let Some(p) = prev {
+                        // Pair only within one job (or within an idle
+                        // stretch): across a job boundary the performance
+                        // counters were reprogrammed (cleared), and a
+                        // cleared counter is indistinguishable from a
+                        // wrapped one — the same rule the job-level ingest
+                        // applies.
+                        if p.job == rec.job {
+                            if let Some(m) = interval_metrics(p, rec) {
+                                bins.entry(idx).or_default().absorb(&m);
+                            }
+                        }
+                    }
+                    prev = Some(rec);
+                }
+                bins
+            })
+            .collect();
+        let mut merged: BTreeMap<u64, SystemBin> = BTreeMap::new();
+        for partial in partials {
+            for (idx, bin) in partial {
+                merged.entry(idx).or_default().merge(&bin);
+            }
+        }
+        let bins = merged
+            .into_iter()
+            .map(|(idx, mut bin)| {
+                bin.ts = Timestamp(idx * bin_secs);
+                bin
+            })
+            .collect();
+        SystemSeries { bin_secs, bins }
+    }
+
+    /// Extract one scalar per bin.
+    pub fn series(&self, f: impl Fn(&SystemBin) -> f64) -> Vec<f64> {
+        self.bins.iter().map(f).collect()
+    }
+
+    /// Fill gaps so the series is equally spaced from the first to the
+    /// last bin (outage windows produce missing bins; persistence offsets
+    /// require regular spacing). Missing bins get zeroed values.
+    pub fn dense(&self) -> SystemSeries {
+        let Some(first) = self.bins.first() else {
+            return SystemSeries { bin_secs: self.bin_secs, bins: Vec::new() };
+        };
+        let last = self.bins.last().expect("non-empty");
+        let n = (last.ts.0 - first.ts.0) / self.bin_secs + 1;
+        let mut dense = Vec::with_capacity(n as usize);
+        let mut iter = self.bins.iter().peekable();
+        for i in 0..n {
+            let ts = Timestamp(first.ts.0 + i * self.bin_secs);
+            if let Some(&bin) = iter.peek() {
+                if bin.ts == ts {
+                    dense.push(*bin);
+                    iter.next();
+                    continue;
+                }
+            }
+            dense.push(SystemBin { ts, ..SystemBin::default() });
+        }
+        SystemSeries { bin_secs: self.bin_secs, bins: dense }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supremm_metrics::{HostId, JobId};
+    use supremm_procsim::{KernelState, NodeActivity, NodeSpec};
+    use supremm_taccstats::Collector;
+
+    /// Three hosts: two run a job for 5 intervals, one idles; host 2 goes
+    /// dark after 2 samples.
+    fn small_archive() -> RawArchive {
+        let mut archive = RawArchive::new();
+        for host in 0..3u32 {
+            let mut kernel = KernelState::new(NodeSpec::ranger());
+            let mut c = Collector::new(HostId(host));
+            let busy = host < 2;
+            let mut ts = Timestamp(600);
+            if busy {
+                c.begin_job(&mut kernel, JobId(1), ts);
+            } else {
+                c.sample(&kernel, ts);
+            }
+            let act = if busy {
+                NodeActivity {
+                    user_frac: 0.8,
+                    flops: 2.0e9 * 600.0 * 16.0,
+                    mem_used_bytes: 10 << 30,
+                    scratch_write_bytes: 600 << 20,
+                    ..NodeActivity::idle()
+                }
+            } else {
+                NodeActivity::idle()
+            };
+            let samples = if host == 2 { 2 } else { 5 };
+            for _ in 0..samples {
+                kernel.advance(&act, 600.0);
+                ts = ts + supremm_metrics::Duration(600);
+                c.sample(&kernel, ts);
+            }
+            for (k, text) in c.into_files() {
+                archive.insert(k, text);
+            }
+        }
+        archive
+    }
+
+    #[test]
+    fn active_and_busy_node_counts() {
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        // First bin (ts 600): all three hosts report; two busy.
+        let first = &series.bins[0];
+        assert_eq!(first.active_nodes, 3);
+        assert_eq!(first.busy_nodes, 2);
+        // After host 2 stops (ts > 1800): two hosts.
+        let late = series.bins.iter().find(|b| b.ts.0 == 2400).unwrap();
+        assert_eq!(late.active_nodes, 2);
+    }
+
+    #[test]
+    fn flops_aggregate_across_hosts() {
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        let bin = series.bins.iter().find(|b| b.ts.0 == 1200).unwrap();
+        // Two busy hosts at 2 GF/core·16 cores = 32 GF each.
+        let want = 2.0 * 2.0e9 * 16.0;
+        assert!((bin.flops / want - 1.0).abs() < 0.05, "{} vs {want}", bin.flops);
+    }
+
+    #[test]
+    fn mem_per_node_is_a_mean_not_a_sum() {
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        let bin = series.bins.iter().find(|b| b.ts.0 == 1200).unwrap();
+        // Hosts: 10 GiB, 10 GiB, ~0.6 GiB idle → mean ≈ 6.9 GiB.
+        let mean_gb = bin.mem_per_node() / (1u64 << 30) as f64;
+        assert!(mean_gb > 5.0 && mean_gb < 8.0, "{mean_gb}");
+    }
+
+    #[test]
+    fn cpu_shares_sum_below_one() {
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        for bin in &series.bins {
+            let (u, s, i) = bin.cpu_shares();
+            assert!(u + s + i <= 1.01, "{u} {s} {i}");
+        }
+    }
+
+    #[test]
+    fn dense_fills_outage_gaps_with_zeroes() {
+        let mut archive = RawArchive::new();
+        let mut kernel = KernelState::new(NodeSpec::ranger());
+        let mut c = Collector::new(HostId(0));
+        // Samples at 600, 1200 then a gap, then 3600.
+        c.sample(&kernel, Timestamp(600));
+        kernel.advance(&NodeActivity::idle(), 600.0);
+        c.sample(&kernel, Timestamp(1200));
+        kernel.advance(&NodeActivity::idle(), 2400.0);
+        c.sample(&kernel, Timestamp(3600));
+        for (k, text) in c.into_files() {
+            archive.insert(k, text);
+        }
+        let series = SystemSeries::from_archive(&archive, 600).dense();
+        assert_eq!(series.bins.len(), 6);
+        assert_eq!(series.bins[2].active_nodes, 0, "gap bin zeroed");
+        assert_eq!(series.bins[5].active_nodes, 1);
+        // Equal spacing.
+        for w in series.bins.windows(2) {
+            assert_eq!(w[1].ts.0 - w[0].ts.0, 600);
+        }
+    }
+
+    #[test]
+    fn scratch_writes_show_up_as_cluster_rate() {
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        let bin = series.bins.iter().find(|b| b.ts.0 == 1200).unwrap();
+        // Two hosts writing 600 MiB / 600 s = 1 MiB/s each.
+        let want = 2.0 * (600 << 20) as f64 / 600.0;
+        assert!((bin.scratch_write_bps / want - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_archive_is_empty_series() {
+        let s = SystemSeries::from_archive(&RawArchive::new(), 600);
+        assert!(s.bins.is_empty());
+        assert!(s.dense().bins.is_empty());
+    }
+}

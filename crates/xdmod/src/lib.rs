@@ -1,0 +1,26 @@
+//! `supremm-xdmod`: the reporting & analytics framework (§4).
+//!
+//! XDMoD's role in the paper is to take the warehouse and answer the
+//! information needs of six stakeholder classes: users, application
+//! developers, support staff, systems administrators, resource managers
+//! and funding agencies. This crate mirrors that structure:
+//!
+//! - [`framework`] — realms, dimensions, statistics and the query engine
+//!   ("a powerful and flexible analysis interface that has many analyses
+//!   reports preprogrammed and also the option ... to define custom
+//!   reports", §4.3);
+//! - [`render`] — dataset renderers: aligned ASCII tables, CSV, JSON
+//!   chart series;
+//! - [`reports`] — the preprogrammed per-stakeholder reports behind each
+//!   figure of the paper.
+
+pub mod diagnose;
+pub mod framework;
+pub mod render;
+pub mod report_builder;
+pub mod reports;
+pub mod serve;
+pub mod svg;
+
+pub use framework::{Dataset, Dimension, Filter, Query, Statistic};
+pub use render::{to_ascii_table, to_csv, to_json_series};

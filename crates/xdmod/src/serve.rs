@@ -1,0 +1,288 @@
+//! A minimal HTTP query API over the warehouse.
+//!
+//! XDMoD is a web application; its front end fetches report datasets from
+//! a JSON endpoint. This module is that surface, dependency-free on
+//! `std::net`: a tiny HTTP/1.0 responder exposing
+//!
+//! ```text
+//! GET /healthz
+//! GET /v1/summary
+//! GET /v1/query?dimension=<d>&statistic=<s>[&metric=<m>][&top=<n>]
+//! ```
+//!
+//! The request handling is a pure function ([`handle`]) so the protocol
+//! logic is unit-testable without sockets; [`serve`] is the thin
+//! accept-loop wrapper.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use supremm_metrics::KeyMetric;
+use supremm_warehouse::JobTable;
+
+use crate::framework::{run, Dimension, Query, Statistic};
+
+/// An HTTP response, pre-serialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body }
+    }
+
+    fn error(status: u16, msg: &str) -> Response {
+        Response::json(status, format!("{{\"error\":{:?}}}", msg))
+    }
+
+    /// Serialise as an HTTP/1.0 message.
+    pub fn to_http(&self) -> String {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            _ => "Error",
+        };
+        format!(
+            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+fn parse_dimension(s: &str) -> Option<Dimension> {
+    Some(match s {
+        "none" => Dimension::None,
+        "user" => Dimension::User,
+        "application" => Dimension::Application,
+        "science" => Dimension::ScienceField,
+        "queue" => Dimension::Queue,
+        "exit" => Dimension::ExitStatus,
+        "job_size" => Dimension::JobSize,
+        _ => return None,
+    })
+}
+
+fn parse_statistic(s: &str, metric: Option<&str>) -> Option<Statistic> {
+    Some(match s {
+        "job_count" => Statistic::JobCount,
+        "node_hours" => Statistic::NodeHours,
+        "avg_wait_hours" => Statistic::AvgWaitHours,
+        "weighted_job_length_min" => Statistic::WeightedJobLengthMin,
+        "failure_rate" => Statistic::FailureRate,
+        "weighted_mean" => Statistic::WeightedMean(KeyMetric::from_name(metric?)?),
+        _ => return None,
+    })
+}
+
+/// Split a target like `/v1/query?a=b&c=d` into path and query pairs.
+fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
+    match target.split_once('?') {
+        None => (target, Vec::new()),
+        Some((path, qs)) => (
+            path,
+            qs.split('&')
+                .filter_map(|kv| kv.split_once('='))
+                .collect(),
+        ),
+    }
+}
+
+/// Handle one request line (`GET <target> HTTP/1.x`) against the table.
+pub fn handle(table: &JobTable, request_line: &str) -> Response {
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return Response::error(400, "malformed request line"),
+    };
+    if method != "GET" {
+        return Response::error(400, "only GET is supported");
+    }
+    let (path, params) = split_target(target);
+    let get = |key: &str| params.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
+    match path {
+        "/healthz" => Response::json(200, "{\"status\":\"ok\"}".into()),
+        "/v1/summary" => {
+            let users = table.group_by(|j| j.user).len();
+            Response::json(
+                200,
+                format!(
+                    "{{\"jobs\":{},\"node_hours\":{:.1},\"users\":{},\"weighted_job_length_min\":{:.1}}}",
+                    table.len(),
+                    table.total_node_hours(),
+                    users,
+                    table.weighted_mean_job_len_min()
+                ),
+            )
+        }
+        "/v1/query" => {
+            let Some(dimension) = get("dimension").and_then(parse_dimension) else {
+                return Response::error(400, "missing/unknown dimension");
+            };
+            let Some(statistic) =
+                get("statistic").and_then(|s| parse_statistic(s, get("metric")))
+            else {
+                return Response::error(400, "missing/unknown statistic (or metric)");
+            };
+            let mut ds = run(table, &Query { dimension, statistic, filters: vec![] });
+            if let Some(n) = get("top").and_then(|v| v.parse::<usize>().ok()) {
+                ds.rows.truncate(n);
+            }
+            match serde_json::to_string(&ds) {
+                Ok(body) => Response::json(200, body),
+                Err(_) => Response::error(500, "serialisation failed"),
+            }
+        }
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+/// Accept-loop: serve requests until `shutdown` flips. Binds are the
+/// caller's job so tests can use an ephemeral port.
+pub fn serve(table: &JobTable, listener: TcpListener, shutdown: &AtomicBool) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let mut buf = [0u8; 4096];
+                let n = stream.read(&mut buf).unwrap_or(0);
+                let request = String::from_utf8_lossy(&buf[..n]);
+                let line = request.lines().next().unwrap_or("");
+                let resp = handle(table, line);
+                let _ = stream.write_all(resp.to_http().as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supremm_metrics::metric::KeyMetricVec;
+    use supremm_metrics::{ExtendedMetric, JobId, ScienceField, Timestamp, UserId};
+    use supremm_warehouse::record::{ExitKind, JobRecord};
+
+    fn table() -> JobTable {
+        let job = |id: u64, app: &str, idle: f64| {
+            let mut metrics = KeyMetricVec::default();
+            metrics.set(KeyMetric::CpuIdle, idle);
+            JobRecord {
+                job: JobId(id),
+                user: UserId(id as u32 % 3),
+                app: Some(app.to_string()),
+                science: ScienceField::Physics,
+                queue: "normal".into(),
+                submit: Timestamp(0),
+                start: Timestamp(0),
+                end: Timestamp(3600),
+                nodes: 2,
+                exit: ExitKind::Completed,
+                metrics,
+                extended: [0.0; ExtendedMetric::ALL.len()],
+                flops_valid: true,
+                samples: 5,
+            }
+        };
+        JobTable::new(vec![job(1, "NAMD", 0.1), job(2, "AMBER", 0.4), job(3, "NAMD", 0.2)])
+    }
+
+    #[test]
+    fn healthz_and_summary() {
+        let t = table();
+        let r = handle(&t, "GET /healthz HTTP/1.0");
+        assert_eq!(r.status, 200);
+        let r = handle(&t, "GET /v1/summary HTTP/1.0");
+        assert_eq!(r.status, 200);
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v["jobs"], 3);
+        assert_eq!(v["users"], 3);
+    }
+
+    #[test]
+    fn query_endpoint_runs_framework_queries() {
+        let t = table();
+        let r = handle(
+            &t,
+            "GET /v1/query?dimension=application&statistic=node_hours HTTP/1.0",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v["rows"][0][0], "NAMD");
+        assert_eq!(v["rows"][0][1], 4.0);
+    }
+
+    #[test]
+    fn weighted_mean_needs_metric_param() {
+        let t = table();
+        let bad = handle(&t, "GET /v1/query?dimension=none&statistic=weighted_mean HTTP/1.0");
+        assert_eq!(bad.status, 400);
+        let good = handle(
+            &t,
+            "GET /v1/query?dimension=none&statistic=weighted_mean&metric=cpu_idle HTTP/1.0",
+        );
+        assert_eq!(good.status, 200);
+        let v: serde_json::Value = serde_json::from_str(&good.body).unwrap();
+        let idle = v["rows"][0][1].as_f64().unwrap();
+        assert!((idle - (0.1 + 0.4 + 0.2) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_truncates_and_errors_are_clean() {
+        let t = table();
+        let r = handle(
+            &t,
+            "GET /v1/query?dimension=user&statistic=job_count&top=1 HTTP/1.0",
+        );
+        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        assert_eq!(v["rows"].as_array().unwrap().len(), 1);
+        assert_eq!(handle(&t, "GET /nope HTTP/1.0").status, 404);
+        assert_eq!(handle(&t, "POST /healthz HTTP/1.0").status, 400);
+        assert_eq!(handle(&t, "garbage").status, 400);
+        assert_eq!(
+            handle(&t, "GET /v1/query?dimension=bogus&statistic=job_count HTTP/1.0").status,
+            400
+        );
+    }
+
+    #[test]
+    fn live_socket_round_trip() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let t = table();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle_thread = std::thread::spawn(move || {
+            let _ = serve(&t, listener, &flag);
+        });
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /v1/summary HTTP/1.0\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("\"jobs\":3"), "{response}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle_thread.join().unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! Property-based tests over the tool chain's core invariants.
+
+use proptest::prelude::*;
+
+use supremm_suite::analytics::stats::{Moments, WeightedMoments};
+use supremm_suite::analytics::{linear_fit, pearson, Kde};
+use supremm_suite::metrics::schema::{CounterKind, DeviceClass};
+use supremm_suite::metrics::{JobId, ScienceField, Timestamp, UserId};
+use supremm_suite::procsim::DeviceReading;
+use supremm_suite::ratlog::accounting::AccountingRecord;
+use supremm_suite::taccstats::delta::counter_delta;
+use supremm_suite::taccstats::format::{parse, FileWriter, JobMark, Record};
+
+// ---------------------------------------------------------------------
+// Raw-format round trip with arbitrary (schema-consistent) content.
+// ---------------------------------------------------------------------
+
+fn arb_reading(class: DeviceClass) -> impl Strategy<Value = DeviceReading> {
+    let len = class.schema().len();
+    (
+        "[a-z][a-z0-9_/]{0,10}",
+        proptest::collection::vec(any::<u64>(), len..=len),
+    )
+        .prop_map(|(device, values)| DeviceReading { device, values })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    let classes = proptest::sample::subsequence(DeviceClass::ALL.to_vec(), 1..6);
+    (classes, any::<u32>(), proptest::option::of(any::<u32>())).prop_flat_map(
+        |(classes, ts, job)| {
+            let readings: Vec<_> = classes
+                .iter()
+                .map(|&c| {
+                    proptest::collection::vec(arb_reading(c), 1..4)
+                        .prop_map(move |rs| (c, rs))
+                })
+                .collect();
+            readings.prop_map(move |rs| Record {
+                ts: Timestamp(ts as u64),
+                job: job.map(|j| JobId(j as u64)),
+                readings: rs.into_iter().collect(),
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn format_round_trips_arbitrary_records(records in proptest::collection::vec(arb_record(), 1..8)) {
+        let classes = DeviceClass::ALL;
+        let mut w = FileWriter::new("c0042", "amd64_core", 16, Timestamp(0), &classes);
+        w.write_mark(JobMark::Begin { job: JobId(1), at: Timestamp(0) });
+        for r in &records {
+            w.write_record(r);
+        }
+        w.write_mark(JobMark::End { job: JobId(1), at: Timestamp(999_999) });
+        let text = w.finish();
+        let parsed = parse(&text).unwrap();
+        prop_assert_eq!(parsed.records().count(), records.len());
+        for (got, want) in parsed.records().zip(&records) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(parsed.marks().count(), 2);
+    }
+
+    // -------------------------------------------------------------------
+    // Counter delta correction.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn delta_of_increasing_counter_is_exact(prev in any::<u64>(), inc in 0u64..u64::MAX / 2) {
+        prop_assume!(prev.checked_add(inc).is_some());
+        let kind = CounterKind::Event { width: 64 };
+        prop_assert_eq!(counter_delta(prev, prev + inc, kind), inc);
+    }
+
+    #[test]
+    fn delta_survives_single_wrap_on_narrow_registers(
+        width in 8u32..48,
+        prev_off in 1u64..1000,
+        inc in 1u64..1_000_000,
+    ) {
+        let modulus = 1u64 << width;
+        prop_assume!(inc < modulus);
+        let prev = modulus - (prev_off % modulus).max(1);
+        let cur = (prev + inc) % modulus;
+        prop_assume!(cur < prev); // visible wrap
+        let kind = CounterKind::Event { width };
+        prop_assert_eq!(counter_delta(prev, cur, kind), inc);
+    }
+
+    #[test]
+    fn delta_never_exceeds_modulus(prev in any::<u64>(), cur in any::<u64>(), width in 8u32..48) {
+        let modulus = 1u64 << width;
+        let kind = CounterKind::Event { width };
+        let d = counter_delta(prev % modulus, cur % modulus, kind);
+        prop_assert!(d < modulus);
+    }
+
+    // -------------------------------------------------------------------
+    // Accounting record round trip.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn accounting_round_trips(
+        owner in any::<u32>(),
+        job in any::<u64>(),
+        sci in 0usize..ScienceField::ALL.len(),
+        submit in any::<u32>(),
+        wall in any::<u32>(),
+        failed in prop::sample::select(vec![0u32, 1, 19, 100]),
+        nodes in 1u32..4096,
+    ) {
+        let rec = AccountingRecord {
+            queue: "normal".into(),
+            owner: UserId(owner),
+            job: JobId(job),
+            account: ScienceField::ALL[sci],
+            submit: Timestamp(submit as u64),
+            start: Timestamp(submit as u64 + 60),
+            end: Timestamp(submit as u64 + 60 + wall as u64),
+            failed,
+            exit_status: 0,
+            nodes,
+            slots: nodes * 16,
+            hosts: (0..nodes.min(64)).map(supremm_suite::metrics::HostId).collect(),
+        };
+        let parsed = AccountingRecord::parse_line(&rec.to_line()).unwrap();
+        prop_assert_eq!(parsed, rec);
+    }
+
+    // -------------------------------------------------------------------
+    // Statistics invariants.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn moments_merge_is_associative_enough(xs in proptest::collection::vec(-1e6f64..1e6, 3..60), split in 1usize..58) {
+        let split = split.min(xs.len() - 1);
+        let whole = Moments::from_slice(&xs);
+        let merged = Moments::from_slice(&xs[..split]).merge(Moments::from_slice(&xs[split..]));
+        prop_assert!((whole.mean() - merged.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((whole.variance() - merged.variance()).abs() < 1e-5 * (1.0 + whole.variance()));
+    }
+
+    #[test]
+    fn weighted_moments_scale_invariance(xs in proptest::collection::vec(0.0f64..1e4, 2..40), k in 1.0f64..100.0) {
+        // Multiplying all weights by a constant changes nothing.
+        let mut a = WeightedMoments::new();
+        let mut b = WeightedMoments::new();
+        for (i, &x) in xs.iter().enumerate() {
+            let w = 1.0 + (i % 5) as f64;
+            a.push(x, w);
+            b.push(x, w * k);
+        }
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9 * (1.0 + a.mean().abs()));
+        prop_assert!((a.variance() - b.variance()).abs() < 1e-7 * (1.0 + a.variance()));
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 4..50)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        if r.is_nan() {
+            return Ok(()); // constant side
+        }
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        prop_assert!((pearson(&y, &x) - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_is_exact_on_lines(a in -100f64..100.0, b in -100f64..100.0, n in 3usize..40) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| a + b * v).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        prop_assert!((fit.intercept - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((fit.slope - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_and_normalised(data in proptest::collection::vec(-50f64..50.0, 5..80)) {
+        let kde = Kde::fit(&data);
+        let grid = kde.grid(256);
+        let dx = grid[1].0 - grid[0].0;
+        let mut integral = 0.0;
+        for &(_, d) in &grid {
+            prop_assert!(d >= 0.0);
+            integral += d * dx;
+        }
+        prop_assert!((integral - 1.0).abs() < 0.05, "integral {}", integral);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler invariants under random job streams.
+// ---------------------------------------------------------------------
+
+mod scheduler_props {
+    use super::*;
+    use supremm_suite::clustersim::scheduler::{Reservation, Scheduler};
+    use supremm_suite::clustersim::JobSpec;
+    use supremm_suite::metrics::{AppId, Duration, HostId};
+
+    fn spec(id: u64, nodes: u32, minutes: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            user: UserId(0),
+            app: AppId(0),
+            science: ScienceField::Physics,
+            nodes,
+            submit: Timestamp(0),
+            duration: Duration::from_minutes(minutes),
+            requested: Duration::from_minutes(minutes),
+            papi: false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Whatever the submission stream, the scheduler never
+        /// double-books a node and never conjures nodes from thin air.
+        #[test]
+        fn scheduler_never_double_books(
+            jobs in proptest::collection::vec((1u32..12, 1u64..120), 1..40),
+            machine in 8u32..32,
+        ) {
+            let mut s = Scheduler::new(machine);
+            let mut busy: std::collections::HashMap<HostId, (JobId, Timestamp)> =
+                Default::default();
+            let mut running: Vec<(JobId, Vec<HostId>, Timestamp)> = Vec::new();
+            let mut now = Timestamp(0);
+            let mut next_id = 1u64;
+            let mut queue_feed = jobs.into_iter();
+
+            for _ in 0..200 {
+                // Feed one job per tick while the stream lasts.
+                if let Some((nodes, minutes)) = queue_feed.next() {
+                    let nodes = nodes.min(machine);
+                    s.submit(spec(next_id, nodes, minutes));
+                    next_id += 1;
+                }
+                // Retire finished jobs.
+                let mut keep = Vec::new();
+                for (id, hosts, end) in running.drain(..) {
+                    if end <= now {
+                        for h in &hosts {
+                            busy.remove(h);
+                        }
+                        s.release(&hosts);
+                    } else {
+                        keep.push((id, hosts, end));
+                    }
+                }
+                running = keep;
+                // Schedule.
+                let reservations: Vec<Reservation> = running
+                    .iter()
+                    .map(|(_, hosts, end)| Reservation {
+                        end: *end,
+                        nodes: hosts.len() as u32,
+                    })
+                    .collect();
+                for (job, hosts) in s.schedule(now, &reservations) {
+                    prop_assert_eq!(hosts.len(), job.nodes as usize);
+                    let end = now + job.duration;
+                    for h in &hosts {
+                        prop_assert!(
+                            !busy.contains_key(h),
+                            "node {} double-booked at t={}",
+                            h,
+                            now.0
+                        );
+                        busy.insert(*h, (job.id, end));
+                    }
+                    running.push((job.id, hosts, end));
+                }
+                // Conservation: busy + free == machine.
+                prop_assert_eq!(busy.len() + s.free_count(), machine as usize);
+                now = now + Duration(600);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary format: lossless on arbitrary record streams.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binfmt_round_trips_arbitrary_files(records in proptest::collection::vec(arb_record(), 1..10)) {
+        use supremm_suite::taccstats::format::ParsedFile;
+        use supremm_suite::warehouse::binfmt;
+        let file = ParsedFile {
+            hostname: "c0042".into(),
+            arch: "amd64_core".into(),
+            cores: 16,
+            start: Timestamp(0),
+            classes: DeviceClass::ALL.to_vec(),
+            samples: records
+                .iter()
+                .cloned()
+                .map(supremm_suite::taccstats::format::Sample::Record)
+                .collect(),
+        };
+        let bin = binfmt::encode(&file);
+        let back = binfmt::decode(&bin).unwrap();
+        prop_assert_eq!(back, file);
+    }
+
+    #[test]
+    fn p2_quantile_tracks_exact_within_tolerance(
+        xs in proptest::collection::vec(0.0f64..1e4, 200..800),
+        p in 0.1f64..0.9,
+    ) {
+        use supremm_suite::analytics::quantile::P2Quantile;
+        let mut est = P2Quantile::new(p);
+        for &x in &xs {
+            est.push(x);
+        }
+        let got = est.estimate().unwrap();
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Compare ranks rather than values: the estimate's rank must be
+        // within ±10 percentage points of the target.
+        let rank = sorted.iter().filter(|&&v| v <= got).count() as f64 / sorted.len() as f64;
+        prop_assert!((rank - p).abs() < 0.12, "rank {} for p {}", rank, p);
+    }
+
+    #[test]
+    fn trend_decomposition_reconstructs_the_series(
+        base in 10.0f64..100.0,
+        slope in -0.01f64..0.01,
+        amp in 0.0f64..5.0,
+    ) {
+        use supremm_suite::analytics::trend::decompose;
+        let period = 48usize;
+        let n = period * 6;
+        let series: Vec<f64> = (0..n)
+            .map(|i| {
+                let phase = (i % period) as f64 / period as f64 * std::f64::consts::TAU;
+                base + slope * i as f64 + amp * phase.sin()
+            })
+            .collect();
+        let d = decompose(&series, period).unwrap();
+        // trend + seasonal must reconstruct the noiseless series closely.
+        for (i, &v) in series.iter().enumerate() {
+            let fitted = d.trend.predict(i as f64) + d.seasonal[i % period];
+            prop_assert!((fitted - v).abs() < 0.35 + 0.05 * amp, "i={} {} vs {}", i, fitted, v);
+        }
+        prop_assert!(d.resid_sd < 0.3 + 0.05 * amp);
+    }
+}
