@@ -14,7 +14,7 @@ use supremm_core::experiments;
 use supremm_core::pipeline::{run_pipeline, MachineDataset, PipelineOptions};
 
 fn datasets() -> (MachineDataset, MachineDataset) {
-    let opts = PipelineOptions { keep_archive: false, series_bin_secs: None };
+    let opts = PipelineOptions { keep_archive: false, ..Default::default() };
     (
         run_pipeline(ClusterConfig::ranger().scaled(16, 4), &opts),
         run_pipeline(ClusterConfig::lonestar4().scaled(12, 4), &opts),

@@ -12,7 +12,7 @@ use supremm_warehouse::{binfmt, ingest, SystemSeries};
 fn small_dataset() -> MachineDataset {
     run_pipeline(
         ClusterConfig::ranger().scaled(12, 2),
-        &PipelineOptions { keep_archive: true, series_bin_secs: None },
+        &PipelineOptions { keep_archive: true, ..Default::default() },
     )
 }
 

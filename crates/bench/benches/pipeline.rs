@@ -1,0 +1,116 @@
+//! Pipeline-shape benchmarks for the streaming-ingest work:
+//!
+//! - `raw_parse/*` — zero-copy streaming scan vs owned batch parse of
+//!   one node-day file (MB/s);
+//! - `pipeline/*` — end-to-end wall time, overlapped collect→ingest vs
+//!   collect-everything-then-ingest;
+//! - `consume/*` — single-pass ingest+series vs the two separate passes
+//!   the batch code used to make.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use supremm_clustersim::ClusterConfig;
+use supremm_core::pipeline::{run_pipeline, PipelineOptions};
+use supremm_metrics::{Duration, HostId, JobId, Timestamp};
+use supremm_procsim::{KernelState, NodeActivity, NodeSpec};
+use supremm_taccstats::format::{parse, stream, SampleRef};
+use supremm_taccstats::Collector;
+use supremm_warehouse::{ingest, ingest_with_series, SystemSeries};
+
+/// One day of one busy node's raw output.
+fn one_node_day() -> String {
+    let mut kernel = KernelState::new(NodeSpec::ranger());
+    let mut c = Collector::new(HostId(1));
+    let mut ts = Timestamp(600);
+    c.begin_job(&mut kernel, JobId(7), ts);
+    for _ in 0..144 {
+        kernel.advance(
+            &NodeActivity {
+                user_frac: 0.8,
+                flops: 3e12,
+                mem_used_bytes: 9 << 30,
+                scratch_write_bytes: 400 << 20,
+                ..NodeActivity::idle()
+            },
+            600.0,
+        );
+        ts = ts + Duration(600);
+        c.sample(&kernel, ts);
+    }
+    c.end_job(&mut kernel, JobId(7), ts);
+    c.into_files().remove(0).1
+}
+
+fn bench_raw_parse(c: &mut Criterion) {
+    let day = one_node_day();
+    let mut g = c.benchmark_group("raw_parse");
+    g.throughput(Throughput::Bytes(day.len() as u64));
+    g.bench_function("zero_copy_stream", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for item in stream(black_box(&day)).unwrap() {
+                if let SampleRef::Record(rec) = item.unwrap() {
+                    rows += rec.row_count();
+                }
+            }
+            rows
+        });
+    });
+    g.bench_function("owned_batch_parse", |b| {
+        b.iter(|| parse(black_box(&day)).unwrap().samples.len());
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = || ClusterConfig::ranger().scaled(12, 3);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("overlapped", |b| {
+        b.iter(|| {
+            run_pipeline(cfg(), &PipelineOptions { keep_archive: false, ..Default::default() })
+                .table
+                .len()
+        });
+    });
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            run_pipeline(
+                cfg(),
+                &PipelineOptions { keep_archive: false, overlap: false, ..Default::default() },
+            )
+            .table
+            .len()
+        });
+    });
+    g.finish();
+}
+
+fn bench_consume(c: &mut Criterion) {
+    let ds = run_pipeline(
+        ClusterConfig::ranger().scaled(12, 2),
+        &PipelineOptions { keep_archive: true, ..Default::default() },
+    );
+    let mut g = c.benchmark_group("consume");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(ds.raw_total_bytes));
+    g.bench_function("single_pass_jobs_and_series", |b| {
+        b.iter(|| {
+            let (records, stats, series) =
+                ingest_with_series(black_box(&ds.archive), &ds.accounting, &ds.lariat, 600);
+            black_box((records.len(), stats, series.bins.len()))
+        });
+    });
+    g.bench_function("two_separate_passes", |b| {
+        b.iter(|| {
+            let (records, stats) = ingest(black_box(&ds.archive), &ds.accounting, &ds.lariat);
+            let series = SystemSeries::from_archive(&ds.archive, 600);
+            black_box((records.len(), stats, series.bins.len()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_raw_parse, bench_pipeline, bench_consume);
+criterion_main!(benches);

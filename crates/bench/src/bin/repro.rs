@@ -5,8 +5,12 @@
 //! the regenerated dataset plus the shape checks. Usage:
 //!
 //! ```text
-//! repro [--nodes N] [--days D] [--only <substring>] [--seed S]
+//! repro [--nodes N] [--days D] [--only <substring>] [--seed S] [--bench-json]
 //! ```
+//!
+//! `--bench-json` additionally writes `BENCH_pipeline.json` with the
+//! end-to-end pipeline timings (wall seconds, raw MB, MB/s, peak-RSS
+//! proxy) so runs can be compared across revisions.
 //!
 //! Defaults: 48 nodes × 30 days Ranger, 36 nodes × 30 days Lonestar4 —
 //! enough for every shape while staying laptop-sized. The paper's full
@@ -22,10 +26,11 @@ struct Args {
     days: u64,
     only: Option<String>,
     seed: Option<u64>,
+    bench_json: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { nodes: 48, days: 30, only: None, seed: None };
+    let mut args = Args { nodes: 48, days: 30, only: None, seed: None, bench_json: false };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,8 +48,12 @@ fn parse_args() -> Args {
             }
             "--only" => args.only = it.next(),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()),
+            "--bench-json" => args.bench_json = true,
             "--help" | "-h" => {
-                println!("usage: repro [--nodes N] [--days D] [--only <substring>] [--seed S]");
+                println!(
+                    "usage: repro [--nodes N] [--days D] [--only <substring>] [--seed S] \
+                     [--bench-json]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -56,20 +65,70 @@ fn parse_args() -> Args {
     args
 }
 
-fn build(cfg: ClusterConfig, label: &str) -> MachineDataset {
+/// One pipeline run's timing, for `--bench-json`.
+struct BenchTiming {
+    label: String,
+    nodes: u32,
+    days: u64,
+    jobs: usize,
+    wall_secs: f64,
+    raw_mb: f64,
+}
+
+fn build(cfg: ClusterConfig, label: &str) -> (MachineDataset, BenchTiming) {
     eprintln!(
         "[repro] simulating {label}: {} nodes x {} days ...",
         cfg.node_count, cfg.sim_days
     );
+    let (nodes, days) = (cfg.node_count, cfg.sim_days);
     let t0 = std::time::Instant::now();
-    let ds = run_pipeline(cfg, &PipelineOptions { keep_archive: true, series_bin_secs: None });
+    let ds = run_pipeline(cfg, &PipelineOptions { keep_archive: true, ..Default::default() });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let raw_mb = ds.raw_total_bytes as f64 / (1024.0 * 1024.0);
     eprintln!(
         "[repro] {label}: {} jobs ingested, {:.1} MB raw, {:.1}s",
         ds.table.len(),
-        ds.raw_total_bytes as f64 / (1024.0 * 1024.0),
-        t0.elapsed().as_secs_f64()
+        raw_mb,
+        wall_secs
     );
-    ds
+    let timing = BenchTiming {
+        label: label.to_string(),
+        nodes,
+        days,
+        jobs: ds.table.len(),
+        wall_secs,
+        raw_mb,
+    };
+    (ds, timing)
+}
+
+/// Peak resident set (VmHWM) in MB — a Linux-only RSS proxy; `None`
+/// where /proc is unavailable.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn write_bench_json(timings: &[BenchTiming]) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n  \"pipelines\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let mb_per_s = if t.wall_secs > 0.0 { t.raw_mb / t.wall_secs } else { 0.0 };
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{}\", \"nodes\": {}, \"days\": {}, \"jobs\": {}, \
+             \"wall_secs\": {:.3}, \"raw_mb\": {:.3}, \"raw_mb_per_s\": {:.3}}}",
+            t.label, t.nodes, t.days, t.jobs, t.wall_secs, t.raw_mb, mb_per_s
+        );
+        s.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    let _ = match peak_rss_mb() {
+        Some(rss) => writeln!(s, "  ],\n  \"peak_rss_mb\": {rss:.1}\n}}"),
+        None => writeln!(s, "  ],\n  \"peak_rss_mb\": null\n}}"),
+    };
+    std::fs::write("BENCH_pipeline.json", s)
 }
 
 fn main() {
@@ -81,8 +140,14 @@ fn main() {
         ranger_cfg = ranger_cfg.with_seed(seed);
         ls4_cfg = ls4_cfg.with_seed(seed.wrapping_add(0x4c6f_6e65));
     }
-    let ranger = build(ranger_cfg, "ranger");
-    let ls4 = build(ls4_cfg, "lonestar4");
+    let (ranger, ranger_timing) = build(ranger_cfg, "ranger");
+    let (ls4, ls4_timing) = build(ls4_cfg, "lonestar4");
+    if args.bench_json {
+        match write_bench_json(&[ranger_timing, ls4_timing]) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_pipeline.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_pipeline.json: {e}"),
+        }
+    }
 
     let results: Vec<ExperimentResult> = vec![
         experiments::corr_metric_selection(&ranger),

@@ -21,6 +21,8 @@
 //! ```
 
 use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use supremm_clustersim::job::{CompletedJob, ExitStatus};
 use supremm_clustersim::{ClusterConfig, Simulation};
@@ -29,8 +31,13 @@ use supremm_ratlog::accounting::AccountingRecord;
 use supremm_ratlog::lariat::{exe_for_app, libraries_for, LariatRecord};
 use supremm_ratlog::syslog::{self, RatRecord};
 use supremm_taccstats::fleet::FleetCollector;
-use supremm_taccstats::RawArchive;
-use supremm_warehouse::{ingest, IngestStats, JobTable, SystemSeries};
+use supremm_taccstats::{RawArchive, RawFileKey};
+use supremm_warehouse::{ConsumeOptions, IngestStats, JobTable, StreamAccumulator, SystemSeries};
+
+/// Files in flight between the collector (producer) and the ingest
+/// workers. Small on purpose: with `keep_archive: false` this bound is
+/// the pipeline's peak raw-text footprint (~0.5 MB per file).
+const INGEST_QUEUE_DEPTH: usize = 32;
 
 /// Pipeline tuning.
 #[derive(Debug, Clone)]
@@ -41,11 +48,26 @@ pub struct PipelineOptions {
     /// Keep the raw archive in the result (it is by far the largest
     /// artifact; reports only need the table + series).
     pub keep_archive: bool,
+    /// Overlap collection with ingest: raw files are handed to a worker
+    /// pool as soon as the collector rotates them, so parsing runs
+    /// concurrently with the simulation and — with `keep_archive:
+    /// false` — file text is dropped right after its single parse.
+    /// `false` falls back to collect-everything-then-ingest (still one
+    /// parse per file). Both modes produce bit-identical output.
+    pub overlap: bool,
+    /// Ingest worker threads in overlap mode; `None` sizes from the
+    /// available parallelism.
+    pub ingest_workers: Option<usize>,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { series_bin_secs: None, keep_archive: true }
+        PipelineOptions {
+            series_bin_secs: None,
+            keep_archive: true,
+            overlap: true,
+            ingest_workers: None,
+        }
     }
 }
 
@@ -146,8 +168,20 @@ fn syslog_lines_for_step(
     lines
 }
 
-/// Run the whole tool chain over one simulated machine.
-pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDataset {
+/// The simulation's ground-truth side channels, separated from the raw
+/// files so the file flow can be redirected (archive vs channel).
+struct SimStreams {
+    accounting: Vec<AccountingRecord>,
+    lariat: Vec<LariatRecord>,
+    syslog: Vec<RatRecord>,
+    submitted_jobs: u64,
+}
+
+/// Drive the simulation + fleet collection to completion, handing every
+/// finished raw file to `on_file`. Files rotate out at day boundaries
+/// *during* the run (enabling overlapped ingest); the remainder flushes
+/// at the end.
+fn drive_simulation(cfg: &ClusterConfig, mut on_file: impl FnMut(RawFileKey, String)) -> SimStreams {
     let mut sim = Simulation::new(cfg.clone());
     let mut fleet = FleetCollector::new(cfg.node_count);
     let mut accounting: Vec<AccountingRecord> = Vec::new();
@@ -214,29 +248,121 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
 
         // Periodic samples everywhere else.
         fleet.sample_all_except(sim.kernels(), sim.node_up(), ev.ts, &touched);
+
+        // Hand over any files the collectors just rotated (day closed).
+        for (key, text) in fleet.drain_finished() {
+            on_file(key, text);
+        }
     }
 
-    let archive = fleet.into_archive();
-    let raw_total_bytes = archive.total_bytes();
-    let raw_mean = archive.mean_bytes_per_node_day();
-    let (records, ingest_stats) = ingest(&archive, &accounting, &lariat);
-    let table = JobTable::new(records);
+    let submitted_jobs = sim.total_submitted();
+    for (key, text) in fleet.into_files() {
+        on_file(key, text);
+    }
+    SimStreams { accounting, lariat, syslog: syslog_records, submitted_jobs }
+}
+
+fn ingest_worker_count(opts: &PipelineOptions) -> usize {
+    opts.ingest_workers.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        // Leave one core for the producer (the simulation itself).
+        cores.saturating_sub(1).clamp(1, 8)
+    })
+}
+
+/// Run the whole tool chain over one simulated machine.
+pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDataset {
     let bin = opts.series_bin_secs.unwrap_or(cfg.interval.seconds());
-    let series = SystemSeries::from_archive(&archive, bin);
+    let consume_opts = ConsumeOptions { bin_secs: Some(bin), job_fragments: true };
+
+    let (streams, acc, archive) = if opts.overlap {
+        run_overlapped(&cfg, opts, consume_opts)
+    } else {
+        // Batch mode: materialise the full archive first, then one
+        // parallel pass over it.
+        let mut archive = RawArchive::new();
+        let streams = drive_simulation(&cfg, |key, text| archive.insert(key, text));
+        let acc = supremm_warehouse::consume_archive(&archive, consume_opts);
+        (streams, acc, archive)
+    };
+
+    let raw_total_bytes = acc.total_bytes();
+    let raw_mean = acc.mean_bytes_per_file();
+    let out = acc.finish(&streams.accounting, &streams.lariat);
 
     MachineDataset {
         cfg,
         archive: if opts.keep_archive { archive } else { RawArchive::new() },
         raw_total_bytes,
         raw_mean_bytes_per_node_day: raw_mean,
-        table,
-        ingest_stats,
-        series,
-        accounting,
-        lariat,
-        syslog: syslog_records,
-        submitted_jobs: sim.total_submitted(),
+        table: JobTable::new(out.records),
+        ingest_stats: out.stats,
+        series: out.series.expect("pipeline always bins"),
+        accounting: streams.accounting,
+        lariat: streams.lariat,
+        syslog: streams.syslog,
+        submitted_jobs: streams.submitted_jobs,
     }
+}
+
+/// Collection and ingest running concurrently: the simulation thread
+/// produces raw files into a bounded channel; a worker pool consumes
+/// each file exactly once into per-file partials. With `keep_archive:
+/// false` the text is freed right after its parse, so peak raw-text
+/// memory is bounded by the files in flight, not the whole run.
+fn run_overlapped(
+    cfg: &ClusterConfig,
+    opts: &PipelineOptions,
+    consume_opts: ConsumeOptions,
+) -> (SimStreams, StreamAccumulator, RawArchive) {
+    let workers = ingest_worker_count(opts);
+    let keep = opts.keep_archive;
+    let (tx, rx) = mpsc::sync_channel::<(RawFileKey, String)>(INGEST_QUEUE_DEPTH);
+    let rx = Arc::new(Mutex::new(rx));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                scope.spawn(move || {
+                    let mut acc = StreamAccumulator::new(consume_opts);
+                    let mut kept: Vec<(RawFileKey, String)> = Vec::new();
+                    loop {
+                        // Take the lock only to receive; parse unlocked so
+                        // workers overlap with each other too.
+                        let msg = rx.lock().expect("ingest queue poisoned").recv();
+                        match msg {
+                            Ok((key, text)) => {
+                                acc.consume(key, &text);
+                                if keep {
+                                    kept.push((key, text));
+                                }
+                            }
+                            // Producer hung up: no more files.
+                            Err(mpsc::RecvError) => break,
+                        }
+                    }
+                    (acc, kept)
+                })
+            })
+            .collect();
+
+        let streams = drive_simulation(cfg, |key, text| {
+            tx.send((key, text)).expect("ingest workers alive");
+        });
+        drop(tx);
+
+        let mut acc = StreamAccumulator::new(consume_opts);
+        let mut archive = RawArchive::new();
+        for handle in handles {
+            let (worker_acc, kept) = handle.join().expect("ingest worker panicked");
+            acc = acc.absorb(worker_acc);
+            for (key, text) in kept {
+                archive.insert(key, text);
+            }
+        }
+        (streams, acc, archive)
+    })
 }
 
 #[cfg(test)]
@@ -335,5 +461,62 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// The overlapped streaming pipeline must be byte-identical to the
+    /// batch (collect-then-ingest) pipeline: same ingest accounting,
+    /// same job aggregates, same series bins.
+    #[test]
+    fn overlapped_and_batch_pipelines_agree_exactly() {
+        let cfg = || ClusterConfig::ranger().scaled(10, 2);
+        let streaming = run_pipeline(
+            cfg(),
+            &PipelineOptions { overlap: true, ingest_workers: Some(3), ..Default::default() },
+        );
+        let batch = run_pipeline(cfg(), &PipelineOptions { overlap: false, ..Default::default() });
+        assert_eq!(streaming.ingest_stats, batch.ingest_stats);
+        assert_eq!(streaming.table.len(), batch.table.len());
+        assert_eq!(
+            streaming.table.total_node_hours().to_bits(),
+            batch.table.total_node_hours().to_bits(),
+            "job aggregates must be bit-identical"
+        );
+        assert_eq!(streaming.series.bins, batch.series.bins);
+        assert_eq!(streaming.raw_total_bytes, batch.raw_total_bytes);
+        // Overlap mode reassembles the same archive when asked to keep it.
+        assert_eq!(
+            streaming.archive.iter().collect::<Vec<_>>(),
+            batch.archive.iter().collect::<Vec<_>>(),
+        );
+    }
+
+    /// With `keep_archive: false`, streaming never materialises the
+    /// archive — and losing the text loses no results.
+    #[test]
+    fn streaming_without_archive_is_lossless() {
+        let cfg = || ClusterConfig::ranger().scaled(8, 2);
+        let lean = run_pipeline(cfg(), &PipelineOptions { keep_archive: false, ..Default::default() });
+        let full = run_pipeline(cfg(), &PipelineOptions { keep_archive: true, ..Default::default() });
+        assert!(lean.archive.is_empty(), "keep_archive: false must not retain the archive");
+        assert!(!full.archive.is_empty());
+        assert_eq!(lean.ingest_stats, full.ingest_stats);
+        assert_eq!(lean.raw_total_bytes, full.raw_total_bytes);
+        assert_eq!(lean.series.bins, full.series.bins);
+        assert_eq!(lean.table.len(), full.table.len());
+    }
+
+    #[test]
+    fn single_worker_overlap_matches_default() {
+        let cfg = || ClusterConfig::ranger().scaled(6, 1);
+        let one = run_pipeline(
+            cfg(),
+            &PipelineOptions { ingest_workers: Some(1), keep_archive: false, ..Default::default() },
+        );
+        let auto = run_pipeline(
+            cfg(),
+            &PipelineOptions { keep_archive: false, ..Default::default() },
+        );
+        assert_eq!(one.ingest_stats, auto.ingest_stats);
+        assert_eq!(one.series.bins, auto.series.bins);
     }
 }

@@ -26,9 +26,13 @@ impl RawFileKey {
 }
 
 /// In-memory store of raw collector output.
+///
+/// Keeps a running byte total so the volume accounting queries are O(1)
+/// instead of re-walking every file.
 #[derive(Debug, Default, Clone)]
 pub struct RawArchive {
     files: BTreeMap<RawFileKey, String>,
+    total_bytes: u64,
 }
 
 impl RawArchive {
@@ -39,7 +43,10 @@ impl RawArchive {
     /// Insert a finished file. Replaces any previous content for the key
     /// (a collector restart rewrites the day's file).
     pub fn insert(&mut self, key: RawFileKey, content: String) {
-        self.files.insert(key, content);
+        self.total_bytes += content.len() as u64;
+        if let Some(old) = self.files.insert(key, content) {
+            self.total_bytes -= old.len() as u64;
+        }
     }
 
     pub fn get(&self, key: &RawFileKey) -> Option<&str> {
@@ -58,9 +65,10 @@ impl RawArchive {
         self.files.iter().map(|(k, v)| (k, v.as_str()))
     }
 
-    /// Total stored bytes (the "uncompressed" volume figure).
+    /// Total stored bytes (the "uncompressed" volume figure). O(1): the
+    /// total is maintained on insert.
     pub fn total_bytes(&self) -> u64 {
-        self.files.values().map(|c| c.len() as u64).sum()
+        self.total_bytes
     }
 
     /// Mean bytes per (node, day) file — the paper's ~0.5 MB figure.
@@ -71,12 +79,18 @@ impl RawArchive {
         self.total_bytes() as f64 / self.files.len() as f64
     }
 
-    /// Distinct hosts present.
+    /// Distinct hosts present. Keys are ordered host-major, so one
+    /// adjacent-dedup scan suffices — no clone, no sort.
     pub fn host_count(&self) -> usize {
-        let mut hosts: Vec<HostId> = self.files.keys().map(|k| k.host).collect();
-        hosts.sort_unstable();
-        hosts.dedup();
-        hosts.len()
+        let mut count = 0;
+        let mut last: Option<HostId> = None;
+        for key in self.files.keys() {
+            if last != Some(key.host) {
+                count += 1;
+                last = Some(key.host);
+            }
+        }
+        count
     }
 
     /// Dump all files under `dir` using the conventional layout.
@@ -114,7 +128,11 @@ impl RawArchive {
 
 impl FromIterator<(RawFileKey, String)> for RawArchive {
     fn from_iter<T: IntoIterator<Item = (RawFileKey, String)>>(iter: T) -> RawArchive {
-        RawArchive { files: iter.into_iter().collect() }
+        let mut archive = RawArchive::new();
+        for (key, content) in iter {
+            archive.insert(key, content);
+        }
+        archive
     }
 }
 
@@ -141,9 +159,21 @@ mod tests {
     fn insert_replaces_same_key() {
         let mut a = RawArchive::new();
         a.insert(key(0, 0), "old".into());
-        a.insert(key(0, 0), "new".into());
-        assert_eq!(a.get(&key(0, 0)), Some("new"));
+        a.insert(key(0, 0), "newer".into());
+        assert_eq!(a.get(&key(0, 0)), Some("newer"));
         assert_eq!(a.len(), 1);
+        // The cached byte total must reflect the replacement, not the sum.
+        assert_eq!(a.total_bytes(), 5);
+    }
+
+    #[test]
+    fn cached_total_matches_recount_through_from_iter() {
+        let a: RawArchive = (0..10u32)
+            .map(|i| (key(i % 3, u64::from(i)), "z".repeat(i as usize)))
+            .collect();
+        let recount: u64 = a.iter().map(|(_, c)| c.len() as u64).sum();
+        assert_eq!(a.total_bytes(), recount);
+        assert_eq!(a.host_count(), 3);
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl Collector {
         self.current_job = None;
     }
 
+    /// Take the files already rotated out (day boundaries crossed so
+    /// far). The in-flight day's writer is untouched, so this can be
+    /// called after every step to hand finished files to a streaming
+    /// consumer while collection continues.
+    pub fn take_finished(&mut self) -> Vec<(RawFileKey, String)> {
+        std::mem::take(&mut self.finished)
+    }
+
     /// Flush and return every raw file produced so far.
     pub fn into_files(mut self) -> Vec<(RawFileKey, String)> {
         if let Some((day, w)) = self.writer.take() {

@@ -13,7 +13,7 @@ use supremm_metrics::ExtendedMetric;
 use supremm_procsim::PerfEvent;
 
 use crate::delta::counter_delta;
-use crate::format::Record;
+use crate::format::{Record, RecordRef};
 
 /// Per-interval derived metrics for one node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,43 +40,37 @@ impl IntervalMetrics {
 }
 
 /// Sum one event-counter column's delta over all matching device instances.
-fn sum_delta(prev: &Record, cur: &Record, class: DeviceClass, col: usize) -> f64 {
+fn sum_delta(prev: &RecordRef<'_>, cur: &RecordRef<'_>, class: DeviceClass, col: usize) -> f64 {
     let kind = class.schema().entries[col].kind;
     debug_assert!(kind.is_event());
-    let (Some(ps), Some(cs)) = (prev.readings.get(&class), cur.readings.get(&class)) else {
-        return 0.0;
-    };
     let mut total = 0u64;
-    for c in cs {
-        if let Some(p) = ps.iter().find(|p| p.device == c.device) {
-            total += counter_delta(p.values[col], c.values[col], kind);
+    for (device, values) in cur.class_rows(class) {
+        if let Some(pvals) = prev.row(class, device) {
+            total += counter_delta(pvals[col], values[col], kind);
         }
     }
     total as f64
 }
 
 /// Same, but restricted to one device instance by name.
-fn instance_delta(prev: &Record, cur: &Record, class: DeviceClass, device: &str, col: usize) -> f64 {
+fn instance_delta(
+    prev: &RecordRef<'_>,
+    cur: &RecordRef<'_>,
+    class: DeviceClass,
+    device: &str,
+    col: usize,
+) -> f64 {
     let kind = class.schema().entries[col].kind;
-    let (Some(ps), Some(cs)) = (prev.readings.get(&class), cur.readings.get(&class)) else {
+    let (Some(pvals), Some(cvals)) = (prev.row(class, device), cur.row(class, device)) else {
         return 0.0;
     };
-    let (Some(p), Some(c)) = (
-        ps.iter().find(|r| r.device == device),
-        cs.iter().find(|r| r.device == device),
-    ) else {
-        return 0.0;
-    };
-    counter_delta(p.values[col], c.values[col], kind) as f64
+    counter_delta(pvals[col], cvals[col], kind) as f64
 }
 
 /// Sum a gauge column over instances of the current record.
-fn sum_gauge(cur: &Record, class: DeviceClass, col: usize) -> f64 {
+fn sum_gauge(cur: &RecordRef<'_>, class: DeviceClass, col: usize) -> f64 {
     debug_assert!(matches!(class.schema().entries[col].kind, CounterKind::Gauge));
-    cur.readings
-        .get(&class)
-        .map(|rs| rs.iter().map(|r| r.values[col] as f64).sum())
-        .unwrap_or(0.0)
+    cur.class_rows(class).map(|(_, values)| values[col] as f64).sum()
 }
 
 /// Parse a perfctr instance name `"<core>:<c0>,<c1>,<c2>,<c3>"` into the
@@ -97,27 +91,25 @@ fn parse_perfctr_device(device: &str) -> Option<(u32, [u16; 4])> {
 
 /// FLOPS over the interval, `None` if any core's FLOPS slot was
 /// reprogrammed (select code mismatch) between the two reads.
-fn flops_delta(prev: &Record, cur: &Record) -> Option<f64> {
+fn flops_delta(prev: &RecordRef<'_>, cur: &RecordRef<'_>) -> Option<f64> {
     let flops_code = PerfEvent::Flops.select_code();
-    let ps = prev.readings.get(&DeviceClass::PerfCtr)?;
-    let cs = cur.readings.get(&DeviceClass::PerfCtr)?;
     let kind = DeviceClass::PerfCtr.schema().entries[0].kind;
     let mut total = 0u64;
     let mut counted = false;
-    for c in cs {
-        let (core, cur_codes) = parse_perfctr_device(&c.device)?;
+    for (device, values) in cur.class_rows(DeviceClass::PerfCtr) {
+        let (core, cur_codes) = parse_perfctr_device(device)?;
         // Pair by core index: the instance *name* changes when codes do.
-        let p = ps.iter().find(|p| {
-            parse_perfctr_device(&p.device).is_some_and(|(pc, _)| pc == core)
+        let (pdev, pvals) = prev.class_rows(DeviceClass::PerfCtr).find(|(d, _)| {
+            parse_perfctr_device(d).is_some_and(|(pc, _)| pc == core)
         })?;
-        let (_, prev_codes) = parse_perfctr_device(&p.device)?;
+        let (_, prev_codes) = parse_perfctr_device(pdev)?;
         for slot in 0..4 {
             if cur_codes[slot] == flops_code {
                 if prev_codes[slot] != flops_code {
                     // Clobbered mid-interval: invalid.
                     return None;
                 }
-                total += counter_delta(p.values[slot], c.values[slot], kind);
+                total += counter_delta(pvals[slot], values[slot], kind);
                 counted = true;
             }
         }
@@ -129,10 +121,17 @@ fn flops_delta(prev: &Record, cur: &Record) -> Option<f64> {
     counted.then_some(total as f64)
 }
 
+/// Derive interval metrics from two consecutive owned records. Thin
+/// wrapper over [`interval_metrics_ref`] for callers holding batch
+/// [`Record`]s; the streaming path skips the view-building step.
+pub fn interval_metrics(prev: &Record, cur: &Record) -> Option<IntervalMetrics> {
+    interval_metrics_ref(&RecordRef::from_record(prev), &RecordRef::from_record(cur))
+}
+
 /// Derive interval metrics from two consecutive records of one node.
 ///
 /// Returns `None` when the pair is unusable (non-positive interval).
-pub fn interval_metrics(prev: &Record, cur: &Record) -> Option<IntervalMetrics> {
+pub fn interval_metrics_ref(prev: &RecordRef<'_>, cur: &RecordRef<'_>) -> Option<IntervalMetrics> {
     let dt = cur.ts.since(prev.ts).seconds() as f64;
     if dt <= 0.0 {
         return None;

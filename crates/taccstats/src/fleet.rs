@@ -10,7 +10,7 @@ use rayon::prelude::*;
 use supremm_metrics::{HostId, JobId, Timestamp};
 use supremm_procsim::KernelState;
 
-use crate::archive::RawArchive;
+use crate::archive::{RawArchive, RawFileKey};
 use crate::collector::Collector;
 
 /// All collectors of a cluster, indexed by node.
@@ -89,14 +89,28 @@ impl FleetCollector {
             });
     }
 
-    /// Flush everything into an archive.
-    pub fn into_archive(self) -> RawArchive {
+    /// Drain every file the collectors have rotated out so far (days
+    /// already closed). Feeds the overlapped pipeline: rotated files can
+    /// be ingested while the fleet keeps collecting the current day.
+    pub fn drain_finished(&mut self) -> Vec<(RawFileKey, String)> {
+        let mut out = Vec::new();
+        for c in &mut self.collectors {
+            out.append(&mut c.take_finished());
+        }
+        out
+    }
+
+    /// Flush everything into a flat file list (node order).
+    pub fn into_files(self) -> Vec<(RawFileKey, String)> {
         self.collectors
             .into_par_iter()
             .flat_map_iter(|c| c.into_files())
-            .collect::<Vec<_>>()
-            .into_iter()
             .collect()
+    }
+
+    /// Flush everything into an archive.
+    pub fn into_archive(self) -> RawArchive {
+        self.into_files().into_iter().collect()
     }
 }
 

@@ -29,6 +29,16 @@
 //! the "many different formats" problem of stock Linux tools), `%` lines
 //! are job-boundary marks, `T` lines start a timestamped record, and the
 //! remaining lines are `class device value...` in schema order.
+//!
+//! Two parsing entry points share one implementation:
+//!
+//! * [`stream`] — the zero-copy scanner. Yields [`SampleRef`]s whose
+//!   device names are `&str` slices into the file text and whose values
+//!   live in one flat `Vec<u64>` arena per record. This is the ingest
+//!   hot path: no per-row allocation, no `BTreeMap` per record.
+//! * [`parse`] — the batch API. Runs the same scanner and materialises
+//!   owned [`Record`]s, so its error behaviour and output are those of
+//!   the streaming layer by construction.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -199,162 +209,451 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse a raw file produced by [`FileWriter`] (or the real tool, modulo
-/// the exact header dialect).
-pub fn parse(text: &str) -> Result<ParsedFile, ParseError> {
+/// Decimal `u64` parse over raw bytes: digits only, overflow-checked.
+/// Roughly 2-3x cheaper than `str::parse` on the short fields this
+/// format carries because there is no sign/radix handling and no
+/// `ParseIntError` construction on the happy path.
+#[inline]
+fn parse_u64(s: &str) -> Option<u64> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in bytes {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(d))?;
+    }
+    Some(v)
+}
+
+/// File metadata interned once per file by [`stream`]. String fields
+/// borrow the file text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader<'a> {
+    pub hostname: &'a str,
+    pub arch: &'a str,
+    pub cores: u32,
+    /// First timestamp covered by the file (rotation boundary).
+    pub start: Timestamp,
+    /// Device classes declared in the schema header, in declaration order.
+    pub classes: Vec<DeviceClass>,
+}
+
+/// One device row inside a [`RecordRef`]: a slice of the shared value
+/// arena plus the borrowed device name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowMeta<'a> {
+    class: DeviceClass,
+    device: &'a str,
+    start: u32,
+    len: u32,
+}
+
+/// A borrowed view of one timestamped record. Device names are slices
+/// of the file text; all values live in one flat arena, so building a
+/// record costs two `Vec` pushes per row and zero string allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordRef<'a> {
+    pub ts: Timestamp,
+    /// The job running on the node at sample time; `None` when idle.
+    pub job: Option<JobId>,
+    rows: Vec<RowMeta<'a>>,
+    values: Vec<u64>,
+}
+
+impl<'a> RecordRef<'a> {
+    fn new(ts: Timestamp, job: Option<JobId>, rows_hint: usize, vals_hint: usize) -> RecordRef<'a> {
+        RecordRef {
+            ts,
+            job,
+            rows: Vec::with_capacity(rows_hint),
+            values: Vec::with_capacity(vals_hint),
+        }
+    }
+
+    /// Borrow an owned [`Record`] as a `RecordRef`. Rows appear in
+    /// class order (then insertion order within a class), which is the
+    /// order the writer emits, so derived metrics are unaffected.
+    pub fn from_record(rec: &'a Record) -> RecordRef<'a> {
+        let mut out = RecordRef::new(rec.ts, rec.job, 0, 0);
+        for (&class, readings) in &rec.readings {
+            for r in readings {
+                let start = out.values.len() as u32;
+                out.values.extend_from_slice(&r.values);
+                out.rows.push(RowMeta {
+                    class,
+                    device: r.device.as_str(),
+                    start,
+                    len: r.values.len() as u32,
+                });
+            }
+        }
+        out
+    }
+
+    /// All rows in file order: `(class, device, values)`.
+    pub fn rows(&self) -> impl Iterator<Item = (DeviceClass, &'a str, &[u64])> + '_ {
+        self.rows.iter().map(move |m| {
+            (m.class, m.device, &self.values[m.start as usize..(m.start + m.len) as usize])
+        })
+    }
+
+    /// Rows of one class, in file order.
+    pub fn class_rows(&self, class: DeviceClass) -> impl Iterator<Item = (&'a str, &[u64])> + '_ {
+        self.rows.iter().filter(move |m| m.class == class).map(move |m| {
+            (m.device, &self.values[m.start as usize..(m.start + m.len) as usize])
+        })
+    }
+
+    /// Values of the row for `device` in `class`, if present.
+    pub fn row(&self, class: DeviceClass, device: &str) -> Option<&[u64]> {
+        self.rows.iter().find(|m| m.class == class && m.device == device).map(|m| {
+            &self.values[m.start as usize..(m.start + m.len) as usize]
+        })
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Materialise an owned [`Record`] (the batch [`parse`] path).
+    pub fn to_record(&self) -> Record {
+        let mut readings: BTreeMap<DeviceClass, Vec<DeviceReading>> = BTreeMap::new();
+        for (class, device, values) in self.rows() {
+            readings
+                .entry(class)
+                .or_default()
+                .push(DeviceReading { device: device.to_string(), values: values.to_vec() });
+        }
+        Record { ts: self.ts, job: self.job, readings }
+    }
+}
+
+/// Either a borrowed record or a mark, in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleRef<'a> {
+    Record(RecordRef<'a>),
+    Mark(JobMark),
+}
+
+/// Streaming zero-copy scanner over one raw file. Created by
+/// [`stream`]; iterating yields `Result<SampleRef, ParseError>`.
+/// Iteration is fused on error: once a line fails to parse the rest of
+/// the file is not scanned, mirroring the batch parser's whole-file
+/// rejection.
+#[derive(Debug, Clone)]
+pub struct FileStream<'a> {
+    header: FileHeader<'a>,
+    rest: &'a str,
+    line_no: usize,
+    current: Option<RecordRef<'a>>,
+    stashed_mark: Option<JobMark>,
+    failed: bool,
+    rows_hint: usize,
+    vals_hint: usize,
+}
+
+/// Scan the `$` metadata and `!` schema block and return a
+/// [`FileStream`] positioned at the first data line. The header is
+/// interned exactly once per file; everything after this call is
+/// zero-copy. Files whose data starts before the required `$` keys are
+/// rejected with [`ParseError::MissingHeader`].
+pub fn stream(text: &str) -> Result<FileStream<'_>, ParseError> {
     let mut hostname = None;
     let mut arch = None;
     let mut cores = None;
     let mut start = None;
     let mut classes: Vec<DeviceClass> = Vec::new();
-    let mut samples: Vec<Sample> = Vec::new();
-    let mut current: Option<Record> = None;
 
-    for (idx, raw_line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw_line.trim_end();
-        if line.is_empty() {
-            continue;
-        }
-        match line.as_bytes()[0] {
-            b'$' => {
+    let mut rest = text;
+    let mut line_no = 1usize;
+    loop {
+        let Some((line, no, after)) = split_line(rest, line_no) else { break };
+        match line.as_bytes().first() {
+            Some(b'$') => {
                 let mut parts = line[1..].splitn(2, ' ');
                 let key = parts.next().unwrap_or("");
                 let val = parts.next().unwrap_or("").trim();
                 match key {
-                    "hostname" => hostname = Some(val.to_string()),
-                    "arch" => arch = Some(val.to_string()),
+                    "hostname" => hostname = Some(val),
+                    "arch" => arch = Some(val),
                     "cores" => {
-                        cores = Some(val.parse().map_err(|_| ParseError::BadLine {
-                            line: line_no,
-                            reason: format!("bad core count {val:?}"),
-                        })?)
+                        let n = parse_u64(val)
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or_else(|| ParseError::BadLine {
+                                line: no,
+                                reason: format!("bad core count {val:?}"),
+                            })?;
+                        cores = Some(n);
                     }
                     "timestamp" => {
-                        start = Some(Timestamp(val.parse().map_err(|_| {
-                            ParseError::BadLine {
-                                line: line_no,
-                                reason: format!("bad timestamp {val:?}"),
-                            }
-                        })?))
+                        let ts = parse_u64(val).ok_or_else(|| ParseError::BadLine {
+                            line: no,
+                            reason: format!("bad timestamp {val:?}"),
+                        })?;
+                        start = Some(Timestamp(ts));
                     }
-                    // Version and unknown $-keys are tolerated for forward
-                    // compatibility.
+                    // Version and unknown $-keys are tolerated for
+                    // forward compatibility.
                     _ => {}
                 }
             }
-            b'!' => {
-                let name = line[1..].split_whitespace().next().unwrap_or("");
+            Some(b'!') => {
+                let name = line[1..].split_ascii_whitespace().next().unwrap_or("");
                 let class = DeviceClass::from_name(name).ok_or(ParseError::UnknownClass {
-                    line: line_no,
+                    line: no,
                     class: name.to_string(),
                 })?;
                 classes.push(class);
             }
-            b'%' => {
-                let parts: Vec<&str> = line.split_whitespace().collect();
-                if parts.len() != 4 {
-                    return Err(ParseError::BadLine {
-                        line: line_no,
-                        reason: "mark needs `% begin|end <job> <ts>`".into(),
-                    });
-                }
-                let job = JobId(parts[2].parse().map_err(|_| ParseError::BadLine {
-                    line: line_no,
-                    reason: format!("bad job id {:?}", parts[2]),
-                })?);
-                let at = Timestamp(parts[3].parse().map_err(|_| ParseError::BadLine {
-                    line: line_no,
-                    reason: format!("bad mark timestamp {:?}", parts[3]),
-                })?);
-                let mark = match parts[1] {
-                    "begin" => JobMark::Begin { job, at },
-                    "end" => JobMark::End { job, at },
-                    other => {
-                        return Err(ParseError::BadLine {
-                            line: line_no,
-                            reason: format!("unknown mark kind {other:?}"),
-                        })
-                    }
-                };
-                if let Some(rec) = current.take() {
-                    samples.push(Sample::Record(rec));
-                }
-                samples.push(Sample::Mark(mark));
-            }
-            b'T' => {
-                let parts: Vec<&str> = line.split_whitespace().collect();
-                if parts.len() != 3 {
-                    return Err(ParseError::BadLine {
-                        line: line_no,
-                        reason: "T line needs `T <ts> <job|->`".into(),
-                    });
-                }
-                let ts = Timestamp(parts[1].parse().map_err(|_| ParseError::BadLine {
-                    line: line_no,
-                    reason: format!("bad timestamp {:?}", parts[1]),
-                })?);
-                let job = if parts[2] == "-" {
-                    None
-                } else {
-                    Some(JobId(parts[2].parse().map_err(|_| ParseError::BadLine {
-                        line: line_no,
-                        reason: format!("bad job id {:?}", parts[2]),
-                    })?))
-                };
-                if let Some(rec) = current.take() {
-                    samples.push(Sample::Record(rec));
-                }
-                current = Some(Record { ts, job, readings: BTreeMap::new() });
-            }
-            _ => {
-                let mut parts = line.split_whitespace();
-                let class_name = parts.next().unwrap_or("");
-                let class =
-                    DeviceClass::from_name(class_name).ok_or(ParseError::UnknownClass {
-                        line: line_no,
-                        class: class_name.to_string(),
-                    })?;
-                let device = parts
-                    .next()
-                    .ok_or(ParseError::BadLine {
-                        line: line_no,
-                        reason: "device record missing instance name".into(),
-                    })?
-                    .to_string();
-                let values: Vec<u64> = parts
-                    .map(|p| {
-                        p.parse().map_err(|_| ParseError::BadLine {
-                            line: line_no,
-                            reason: format!("bad value {p:?}"),
-                        })
-                    })
-                    .collect::<Result<_, _>>()?;
-                let want = class.schema().len();
-                if values.len() != want {
-                    return Err(ParseError::ArityMismatch {
-                        line: line_no,
-                        class,
-                        got: values.len(),
-                        want,
-                    });
-                }
-                let rec =
-                    current.as_mut().ok_or(ParseError::RecordBeforeTimestamp { line: line_no })?;
-                rec.readings.entry(class).or_default().push(DeviceReading { device, values });
-            }
+            // First data line: the header block is over.
+            _ => break,
         }
-    }
-    if let Some(rec) = current.take() {
-        samples.push(Sample::Record(rec));
+        rest = after;
+        line_no = no + 1;
     }
 
-    Ok(ParsedFile {
+    let header = FileHeader {
         hostname: hostname.ok_or(ParseError::MissingHeader("hostname"))?,
         arch: arch.ok_or(ParseError::MissingHeader("arch"))?,
         cores: cores.ok_or(ParseError::MissingHeader("cores"))?,
         start: start.ok_or(ParseError::MissingHeader("timestamp"))?,
         classes,
+    };
+    Ok(FileStream {
+        header,
+        rest,
+        line_no,
+        current: None,
+        stashed_mark: None,
+        failed: false,
+        rows_hint: 0,
+        vals_hint: 0,
+    })
+}
+
+/// Split the next non-empty line off `rest`. Returns the trimmed line,
+/// its 1-based number, and the remaining text.
+#[inline]
+fn split_line(rest: &str, mut line_no: usize) -> Option<(&str, usize, &str)> {
+    let mut rest = rest;
+    while !rest.is_empty() {
+        let (raw, after) = match rest.as_bytes().iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        let line = raw.trim_end();
+        if !line.is_empty() {
+            return Some((line, line_no, after));
+        }
+        rest = after;
+        line_no += 1;
+    }
+    None
+}
+
+impl<'a> FileStream<'a> {
+    pub fn header(&self) -> &FileHeader<'a> {
+        &self.header
+    }
+
+    #[inline]
+    fn take_line(&mut self) -> Option<(&'a str, usize)> {
+        let (line, no, after) = split_line(self.rest, self.line_no)?;
+        self.rest = after;
+        self.line_no = no + 1;
+        Some((line, no))
+    }
+
+    /// Finish the in-flight record and remember its size so the next
+    /// record's arena is allocated with the right capacity up front.
+    #[inline]
+    fn flush_current(&mut self) -> Option<RecordRef<'a>> {
+        let rec = self.current.take()?;
+        self.rows_hint = rec.rows.len();
+        self.vals_hint = rec.values.len();
+        Some(rec)
+    }
+
+    fn parse_mark(line: &str, line_no: usize) -> Result<JobMark, ParseError> {
+        let parts: Vec<&str> = line.split_ascii_whitespace().collect();
+        if parts.len() != 4 {
+            return Err(ParseError::BadLine {
+                line: line_no,
+                reason: "mark needs `% begin|end <job> <ts>`".into(),
+            });
+        }
+        let job = JobId(parse_u64(parts[2]).ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            reason: format!("bad job id {:?}", parts[2]),
+        })?);
+        let at = Timestamp(parse_u64(parts[3]).ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            reason: format!("bad mark timestamp {:?}", parts[3]),
+        })?);
+        match parts[1] {
+            "begin" => Ok(JobMark::Begin { job, at }),
+            "end" => Ok(JobMark::End { job, at }),
+            other => Err(ParseError::BadLine {
+                line: line_no,
+                reason: format!("unknown mark kind {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_record_start(
+        line: &str,
+        line_no: usize,
+    ) -> Result<(Timestamp, Option<JobId>), ParseError> {
+        let parts: Vec<&str> = line.split_ascii_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(ParseError::BadLine {
+                line: line_no,
+                reason: "T line needs `T <ts> <job|->`".into(),
+            });
+        }
+        let ts = Timestamp(parse_u64(parts[1]).ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            reason: format!("bad timestamp {:?}", parts[1]),
+        })?);
+        let job = if parts[2] == "-" {
+            None
+        } else {
+            Some(JobId(parse_u64(parts[2]).ok_or_else(|| ParseError::BadLine {
+                line: line_no,
+                reason: format!("bad job id {:?}", parts[2]),
+            })?))
+        };
+        Ok((ts, job))
+    }
+
+    /// Append one `class device value...` row to the in-flight record,
+    /// parsing values straight into the shared arena.
+    fn push_row(&mut self, line: &'a str, line_no: usize) -> Result<(), ParseError> {
+        let mut parts = line.split_ascii_whitespace();
+        let class_name = parts.next().unwrap_or("");
+        let class = DeviceClass::from_name(class_name).ok_or_else(|| ParseError::UnknownClass {
+            line: line_no,
+            class: class_name.to_string(),
+        })?;
+        let device = parts.next().ok_or_else(|| ParseError::BadLine {
+            line: line_no,
+            reason: "device record missing instance name".into(),
+        })?;
+        let want = class.schema().len();
+        let Some(rec) = self.current.as_mut() else {
+            // Keep the batch parser's error precedence: values and
+            // arity are validated before the missing-T check.
+            let mut got = 0usize;
+            for p in parts {
+                parse_u64(p).ok_or_else(|| ParseError::BadLine {
+                    line: line_no,
+                    reason: format!("bad value {p:?}"),
+                })?;
+                got += 1;
+            }
+            if got != want {
+                return Err(ParseError::ArityMismatch { line: line_no, class, got, want });
+            }
+            return Err(ParseError::RecordBeforeTimestamp { line: line_no });
+        };
+        let start = rec.values.len() as u32;
+        let mut got = 0usize;
+        for p in parts {
+            let v = parse_u64(p).ok_or_else(|| ParseError::BadLine {
+                line: line_no,
+                reason: format!("bad value {p:?}"),
+            })?;
+            rec.values.push(v);
+            got += 1;
+        }
+        if got != want {
+            return Err(ParseError::ArityMismatch { line: line_no, class, got, want });
+        }
+        rec.rows.push(RowMeta { class, device, start, len: got as u32 });
+        Ok(())
+    }
+}
+
+impl<'a> Iterator for FileStream<'a> {
+    type Item = Result<SampleRef<'a>, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if let Some(mark) = self.stashed_mark.take() {
+            return Some(Ok(SampleRef::Mark(mark)));
+        }
+        loop {
+            let Some((line, line_no)) = self.take_line() else {
+                return self.flush_current().map(|rec| Ok(SampleRef::Record(rec)));
+            };
+            match line.as_bytes()[0] {
+                // Metadata or schema lines after the header block carry
+                // no data; tolerated as in the batch parser.
+                b'$' | b'!' => continue,
+                b'%' => match Self::parse_mark(line, line_no) {
+                    Ok(mark) => {
+                        if let Some(rec) = self.flush_current() {
+                            self.stashed_mark = Some(mark);
+                            return Some(Ok(SampleRef::Record(rec)));
+                        }
+                        return Some(Ok(SampleRef::Mark(mark)));
+                    }
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                },
+                b'T' => match Self::parse_record_start(line, line_no) {
+                    Ok((ts, job)) => {
+                        let fresh = RecordRef::new(ts, job, self.rows_hint, self.vals_hint);
+                        if let Some(rec) = self.flush_current() {
+                            self.current = Some(fresh);
+                            return Some(Ok(SampleRef::Record(rec)));
+                        }
+                        self.current = Some(fresh);
+                    }
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                },
+                _ => {
+                    if let Err(e) = self.push_row(line, line_no) {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parse a raw file produced by [`FileWriter`] (or the real tool,
+/// modulo the exact header dialect) into owned samples. Thin shim over
+/// [`stream`].
+pub fn parse(text: &str) -> Result<ParsedFile, ParseError> {
+    let s = stream(text)?;
+    let header = s.header().clone();
+    let mut samples: Vec<Sample> = Vec::new();
+    for item in s {
+        match item? {
+            SampleRef::Record(rec) => samples.push(Sample::Record(rec.to_record())),
+            SampleRef::Mark(mark) => samples.push(Sample::Mark(mark)),
+        }
+    }
+    Ok(ParsedFile {
+        hostname: header.hostname.to_string(),
+        arch: header.arch.to_string(),
+        cores: header.cores,
+        start: header.start,
+        classes: header.classes,
         samples,
     })
 }
@@ -491,5 +790,68 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("line 7") && s.contains("cpu"), "{s}");
+    }
+
+    #[test]
+    fn stream_yields_borrowed_samples_matching_parse() {
+        let text = write_small_file();
+        let parsed = parse(&text).unwrap();
+        let s = stream(&text).unwrap();
+        assert_eq!(s.header().hostname, "c0007");
+        assert_eq!(s.header().classes, parsed.classes);
+        let streamed: Vec<Sample> = s
+            .map(|item| match item.unwrap() {
+                SampleRef::Record(r) => Sample::Record(r.to_record()),
+                SampleRef::Mark(m) => Sample::Mark(m),
+            })
+            .collect();
+        assert_eq!(streamed, parsed.samples);
+    }
+
+    #[test]
+    fn stream_device_names_borrow_the_file_text() {
+        let text = write_small_file();
+        let range = text.as_ptr() as usize..text.as_ptr() as usize + text.len();
+        for item in stream(&text).unwrap() {
+            let SampleRef::Record(rec) = item.unwrap() else { continue };
+            for (_, device, _) in rec.rows() {
+                let p = device.as_ptr() as usize;
+                assert!(range.contains(&p), "device name was copied out of the file text");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_fused_after_an_error() {
+        let bad = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\nT 0 -\nT zz -\nT 9 -\n";
+        let mut s = stream(bad).unwrap();
+        // The bad T line errors before the in-flight record from line 5
+        // can be flushed; corrupt files surface nothing but the error.
+        let first = s.next().unwrap();
+        assert!(first.is_err(), "expected the bad T line to error, got {first:?}");
+        assert!(s.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn record_ref_row_lookup() {
+        let rec = sample_record(5, Some(7));
+        let view = RecordRef::from_record(&rec);
+        assert_eq!(view.row_count(), 3);
+        assert_eq!(view.row(DeviceClass::Cpu, "1").unwrap()[0], 4);
+        assert_eq!(view.row(DeviceClass::Lnet, "lnet").unwrap(), &[10, 20, 1, 2, 0][..]);
+        assert!(view.row(DeviceClass::Mem, "0").is_none());
+        assert_eq!(view.class_rows(DeviceClass::Cpu).count(), 2);
+        assert_eq!(view.to_record(), rec);
+    }
+
+    #[test]
+    fn parse_u64_rejects_nondigits_and_overflow() {
+        assert_eq!(super::parse_u64("0"), Some(0));
+        assert_eq!(super::parse_u64("18446744073709551615"), Some(u64::MAX));
+        assert_eq!(super::parse_u64("18446744073709551616"), None);
+        assert_eq!(super::parse_u64(""), None);
+        assert_eq!(super::parse_u64("+1"), None);
+        assert_eq!(super::parse_u64("-1"), None);
+        assert_eq!(super::parse_u64("1x"), None);
     }
 }

@@ -32,4 +32,4 @@ pub mod format;
 pub use archive::{RawArchive, RawFileKey};
 pub use collector::Collector;
 pub use derive::IntervalMetrics;
-pub use format::{JobMark, ParsedFile, Record, Sample};
+pub use format::{FileStream, JobMark, ParsedFile, Record, RecordRef, Sample, SampleRef};

@@ -1,30 +1,30 @@
 //! The ingest pipeline: raw files + accounting + Lariat → job records.
 //!
-//! Parallelises over raw files (hosts × days are independent), then joins
-//! per-job fragments across hosts and against the accounting/Lariat
-//! sources. Design decision 3 of DESIGN.md: samples are matched to jobs
-//! by the *job-id tags in the raw data* (TACC_Stats' batch-job
-//! awareness), not by time-window joins against the accounting log — the
-//! ablation bench measures what that buys.
+//! Parallelises over raw files (hosts × days are independent) through
+//! the single-pass [`crate::streaming`] layer, then joins per-job
+//! fragments across hosts and against the accounting/Lariat sources.
+//! Design decision 3 of DESIGN.md: samples are matched to jobs by the
+//! *job-id tags in the raw data* (TACC_Stats' batch-job awareness), not
+//! by time-window joins against the accounting log — the ablation bench
+//! measures what that buys.
 
 use std::collections::HashMap;
-
-use rayon::prelude::*;
 
 use supremm_metrics::metric::KeyMetricVec;
 use supremm_metrics::{ExtendedMetric, JobId, KeyMetric};
 use supremm_ratlog::accounting::AccountingRecord;
 use supremm_ratlog::lariat::LariatRecord;
-use supremm_taccstats::derive::interval_metrics;
-use supremm_taccstats::format::parse;
+use supremm_taccstats::IntervalMetrics;
 use supremm_taccstats::RawArchive;
 
 use crate::record::{ExitKind, JobRecord};
+use crate::streaming::{consume_archive, ConsumeOptions};
+use crate::timeseries::SystemSeries;
 
 /// Per-job accumulation of interval metrics (one fragment per host file;
 /// fragments merge associatively).
 #[derive(Debug, Clone, Default)]
-struct JobFragment {
+pub(crate) struct JobFragment {
     /// Sum of each extended metric over intervals.
     sums: [f64; ExtendedMetric::ALL.len()],
     /// Observed memory maximum (bytes).
@@ -34,7 +34,19 @@ struct JobFragment {
 }
 
 impl JobFragment {
-    fn merge(&mut self, other: &JobFragment) {
+    /// Fold one interval into the fragment.
+    pub(crate) fn absorb(&mut self, m: &IntervalMetrics) {
+        for em in ExtendedMetric::ALL {
+            self.sums[em.index()] += m.get(em);
+        }
+        self.mem_max = self.mem_max.max(m.get(ExtendedMetric::MemUsed));
+        self.intervals += 1;
+        if !m.flops_valid {
+            self.flops_invalid += 1;
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &JobFragment) {
         for (a, b) in self.sums.iter_mut().zip(other.sums) {
             *a += b;
         }
@@ -60,66 +72,42 @@ pub struct IngestStats {
     pub jobs_missing_samples: usize,
 }
 
-/// Extract per-job fragments from one raw file's text.
-fn fragments_of_file(text: &str) -> Result<(HashMap<JobId, JobFragment>, usize, usize), ()> {
-    let parsed = parse(text).map_err(|_| ())?;
-    let mut frags: HashMap<JobId, JobFragment> = HashMap::new();
-    let mut records = 0usize;
-    let mut intervals = 0usize;
-    let mut prev: Option<&supremm_taccstats::Record> = None;
-    for rec in parsed.records() {
-        records += 1;
-        // An interval belongs to a job iff both endpoints carry the same
-        // job tag (idle records break continuity automatically).
-        if let (Some(p), Some(job)) = (prev, rec.job) {
-            if p.job == Some(job) {
-                if let Some(m) = interval_metrics(p, rec) {
-                    intervals += 1;
-                    let frag = frags.entry(job).or_default();
-                    for em in ExtendedMetric::ALL {
-                        frag.sums[em.index()] += m.get(em);
-                    }
-                    frag.mem_max = frag.mem_max.max(m.get(ExtendedMetric::MemUsed));
-                    frag.intervals += 1;
-                    if !m.flops_valid {
-                        frag.flops_invalid += 1;
-                    }
-                }
-            }
-        }
-        prev = Some(rec);
-    }
-    Ok((frags, records, intervals))
-}
-
-/// Run the full ingest: parse every raw file in parallel, merge job
-/// fragments, join with accounting + Lariat.
+/// Run the full ingest: parse every raw file in parallel (one pass per
+/// file), merge job fragments, join with accounting + Lariat.
 pub fn ingest(
     archive: &RawArchive,
     accounting: &[AccountingRecord],
     lariat: &[LariatRecord],
 ) -> (Vec<JobRecord>, IngestStats) {
-    let files: Vec<&str> = archive.iter().map(|(_, text)| text).collect();
-    let results: Vec<_> = files
-        .par_iter()
-        .map(|text| fragments_of_file(text))
-        .collect();
+    let opts = ConsumeOptions { bin_secs: None, job_fragments: true };
+    let out = consume_archive(archive, opts).finish(accounting, lariat);
+    (out.records, out.stats)
+}
 
-    let mut stats = IngestStats { files: files.len(), ..Default::default() };
-    let mut jobs: HashMap<JobId, JobFragment> = HashMap::new();
-    for r in results {
-        match r {
-            Ok((frags, records, intervals)) => {
-                stats.records += records;
-                stats.intervals += intervals;
-                for (id, frag) in frags {
-                    jobs.entry(id).or_default().merge(&frag);
-                }
-            }
-            Err(()) => stats.parse_errors += 1,
-        }
-    }
+/// Ingest *and* assemble the system series from the same single parse
+/// pass over the archive — the unified-consumer entry point for callers
+/// that need both products.
+pub fn ingest_with_series(
+    archive: &RawArchive,
+    accounting: &[AccountingRecord],
+    lariat: &[LariatRecord],
+    bin_secs: u64,
+) -> (Vec<JobRecord>, IngestStats, SystemSeries) {
+    assert!(bin_secs > 0);
+    let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: true };
+    let out = consume_archive(archive, opts).finish(accounting, lariat);
+    (out.records, out.stats, out.series.expect("binning requested"))
+}
 
+/// Join merged per-job fragments against the accounting and Lariat
+/// logs. Shared tail of every ingest path; fills the job-level fields
+/// of `stats`.
+pub(crate) fn assemble_jobs(
+    mut jobs: HashMap<JobId, JobFragment>,
+    accounting: &[AccountingRecord],
+    lariat: &[LariatRecord],
+    stats: &mut IngestStats,
+) -> Vec<JobRecord> {
     let lariat_by_job: HashMap<JobId, &LariatRecord> =
         lariat.iter().map(|l| (l.job, l)).collect();
     let mut seen_in_raw = jobs.len();
@@ -170,7 +158,7 @@ pub fn ingest(
     }
     stats.jobs = records.len();
     stats.jobs_missing_accounting = seen_in_raw;
-    (records, stats)
+    records
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //! - [`timeseries`] assembles the system-level series (active nodes,
 //!   total FLOPS, memory per node, per-mount Lustre throughput, CPU-state
 //!   node-hours) behind Figures 7–11;
+//! - [`streaming`] is the single-pass layer under both [`ingest`] and
+//!   [`timeseries`]: one zero-copy scan per raw file produces a
+//!   mergeable [`streaming::FilePartial`] feeding job fragments *and*
+//!   system bins, so archives are parsed exactly once per run;
 //! - [`binfmt`] is the compact binary import format of §5's future work
 //!   (delta+varint over the text format's content, lossless).
 
@@ -23,9 +27,11 @@ pub mod binfmt;
 pub mod ingest;
 pub mod record;
 pub mod store;
+pub mod streaming;
 pub mod timeseries;
 
-pub use ingest::{ingest, IngestStats};
+pub use ingest::{ingest, ingest_with_series, IngestStats};
 pub use record::{ExitKind, JobRecord};
 pub use store::JobTable;
+pub use streaming::{consume_archive, ConsumeOptions, StreamAccumulator, StreamOutput};
 pub use timeseries::{SystemBin, SystemSeries};

@@ -1,0 +1,306 @@
+//! Single-pass streaming consumption of raw files.
+//!
+//! One scan of each raw file (via the zero-copy [`stream`] parser)
+//! feeds *both* warehouse products at once: the per-job fragment map
+//! behind [`crate::ingest::ingest`] and the system-series bins behind
+//! [`crate::timeseries::SystemSeries`]. Per-file results are
+//! [`FilePartial`]s keyed by [`RawFileKey`]; partials merge
+//! associatively (each file key appears exactly once), so accumulation
+//! can run under a rayon reduce or across ingest worker threads, and
+//! the final cross-file merge happens sequentially in key order —
+//! byte-identical output regardless of arrival order or thread count.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rayon::prelude::*;
+
+use supremm_metrics::JobId;
+use supremm_ratlog::accounting::AccountingRecord;
+use supremm_ratlog::lariat::LariatRecord;
+use supremm_taccstats::derive::interval_metrics_ref;
+use supremm_taccstats::format::{stream, RecordRef, SampleRef};
+use supremm_taccstats::{RawArchive, RawFileKey};
+
+use crate::ingest::{assemble_jobs, IngestStats, JobFragment};
+use crate::record::JobRecord;
+use crate::timeseries::{SystemBin, SystemSeries};
+
+/// What one pass over the raw data should produce.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsumeOptions {
+    /// Bin width for system-series accumulation; `None` skips binning.
+    pub bin_secs: Option<u64>,
+    /// Accumulate per-job fragments (the job-ingest side).
+    pub job_fragments: bool,
+}
+
+/// Everything one raw file contributes, before cross-file merging.
+#[derive(Debug, Clone, Default)]
+pub struct FilePartial {
+    pub bytes: u64,
+    /// False when the file was rejected by the parser (whole-file
+    /// rejection: a corrupt file contributes nothing but its byte count).
+    pub parsed: bool,
+    pub records: usize,
+    pub intervals: usize,
+    pub(crate) frags: HashMap<JobId, JobFragment>,
+    pub(crate) bins: BTreeMap<u64, SystemBin>,
+}
+
+/// Consume one raw file in a single streaming pass.
+///
+/// Matches the batch semantics exactly: a parse error anywhere voids
+/// the whole file; job intervals require the same job tag on both
+/// endpoints; series intervals pair any equal tags (including idle);
+/// a host is counted active/busy once per bin even when two records
+/// share a tick (job end + next begin).
+pub fn consume_file(text: &str, opts: ConsumeOptions) -> FilePartial {
+    let bytes = text.len() as u64;
+    let rejected = FilePartial { bytes, ..FilePartial::default() };
+    let Ok(samples) = stream(text) else { return rejected };
+
+    let mut out = FilePartial { bytes, parsed: true, ..FilePartial::default() };
+    let mut prev: Option<RecordRef<'_>> = None;
+    let mut last_counted_bin = None;
+    for item in samples {
+        let Ok(sample) = item else { return rejected };
+        let SampleRef::Record(rec) = sample else { continue };
+        out.records += 1;
+        if let Some(bin_secs) = opts.bin_secs {
+            let idx = rec.ts.0 / bin_secs;
+            let bin = out.bins.entry(idx).or_default();
+            if last_counted_bin != Some(idx) {
+                bin.active_nodes += 1;
+                if rec.job.is_some() {
+                    bin.busy_nodes += 1;
+                }
+                last_counted_bin = Some(idx);
+            }
+        }
+        if let Some(p) = &prev {
+            // Pair only within one job (or within an idle stretch):
+            // across a job boundary the performance counters were
+            // reprogrammed, and a cleared counter is indistinguishable
+            // from a wrapped one.
+            if p.job == rec.job {
+                if let Some(m) = interval_metrics_ref(p, &rec) {
+                    if let Some(bin_secs) = opts.bin_secs {
+                        out.bins.entry(rec.ts.0 / bin_secs).or_default().absorb(&m);
+                    }
+                    if opts.job_fragments {
+                        if let Some(job) = rec.job {
+                            out.intervals += 1;
+                            out.frags.entry(job).or_default().absorb(&m);
+                        }
+                    }
+                }
+            }
+        }
+        prev = Some(rec);
+    }
+    out
+}
+
+/// Order-insensitive accumulator of [`FilePartial`]s.
+///
+/// Accumulation is a map union (disjoint keys), so it commutes; the
+/// order-sensitive floating-point merging is deferred to [`finish`],
+/// which walks partials in key order — the same order the batch code
+/// iterated the archive.
+///
+/// [`finish`]: StreamAccumulator::finish
+#[derive(Debug)]
+pub struct StreamAccumulator {
+    opts: ConsumeOptions,
+    partials: BTreeMap<RawFileKey, FilePartial>,
+}
+
+/// The merged products of one pass: job records + ingest accounting,
+/// and the system series when binning was requested.
+#[derive(Debug)]
+pub struct StreamOutput {
+    pub records: Vec<JobRecord>,
+    pub stats: IngestStats,
+    pub series: Option<SystemSeries>,
+}
+
+impl StreamAccumulator {
+    pub fn new(opts: ConsumeOptions) -> StreamAccumulator {
+        StreamAccumulator { opts, partials: BTreeMap::new() }
+    }
+
+    /// Parse and fold in one file. Replaces any previous partial for
+    /// the key (collector-restart semantics, as `RawArchive::insert`).
+    pub fn consume(&mut self, key: RawFileKey, text: &str) {
+        self.partials.insert(key, consume_file(text, self.opts));
+    }
+
+    /// Union two accumulators (disjoint file keys). Associative and
+    /// commutative, so it serves as the rayon reduce operator.
+    pub fn absorb(self, other: StreamAccumulator) -> StreamAccumulator {
+        let (mut into, from) =
+            if self.partials.len() >= other.partials.len() { (self, other) } else { (other, self) };
+        into.partials.extend(from.partials);
+        into
+    }
+
+    pub fn files(&self) -> usize {
+        self.partials.len()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.partials.values().map(|p| p.bytes).sum()
+    }
+
+    /// Mean bytes per (node, day) file — the paper's ~0.5 MB figure.
+    pub fn mean_bytes_per_file(&self) -> f64 {
+        if self.partials.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.partials.len() as f64
+    }
+
+    /// Merge all partials (in file-key order) and join against the
+    /// accounting and Lariat logs.
+    pub fn finish(self, accounting: &[AccountingRecord], lariat: &[LariatRecord]) -> StreamOutput {
+        let mut stats = IngestStats::default();
+        let mut jobs: HashMap<JobId, JobFragment> = HashMap::new();
+        let mut merged: BTreeMap<u64, SystemBin> = BTreeMap::new();
+        for partial in self.partials.into_values() {
+            stats.files += 1;
+            if !partial.parsed {
+                stats.parse_errors += 1;
+                continue;
+            }
+            stats.records += partial.records;
+            stats.intervals += partial.intervals;
+            for (id, frag) in partial.frags {
+                jobs.entry(id).or_default().merge(&frag);
+            }
+            for (idx, bin) in partial.bins {
+                merged.entry(idx).or_default().merge(&bin);
+            }
+        }
+        let records = assemble_jobs(jobs, accounting, lariat, &mut stats);
+        let series = self.opts.bin_secs.map(|bin_secs| SystemSeries::from_bins(merged, bin_secs));
+        StreamOutput { records, stats, series }
+    }
+}
+
+/// One parallel pass over a whole archive: map each file to an
+/// accumulator, rayon-reduce by [`StreamAccumulator::absorb`].
+pub fn consume_archive(archive: &RawArchive, opts: ConsumeOptions) -> StreamAccumulator {
+    let files: Vec<(RawFileKey, &str)> = archive.iter().map(|(k, text)| (*k, text)).collect();
+    files
+        .par_iter()
+        .map(|&(key, text)| {
+            let mut acc = StreamAccumulator::new(opts);
+            acc.consume(key, text);
+            acc
+        })
+        .reduce(|| StreamAccumulator::new(opts), StreamAccumulator::absorb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supremm_metrics::{HostId, Timestamp};
+    use supremm_procsim::{KernelState, NodeActivity, NodeSpec};
+    use supremm_taccstats::Collector;
+
+    fn two_host_archive() -> RawArchive {
+        let mut archive = RawArchive::new();
+        for host in 0..2u32 {
+            let mut kernel = KernelState::new(NodeSpec::ranger());
+            let mut c = Collector::new(HostId(host));
+            let mut ts = Timestamp(600);
+            c.begin_job(&mut kernel, JobId(5), ts);
+            let act = NodeActivity { user_frac: 0.7, flops: 1e12, ..NodeActivity::idle() };
+            for _ in 0..4 {
+                kernel.advance(&act, 600.0);
+                ts = ts + supremm_metrics::Duration(600);
+                c.sample(&kernel, ts);
+            }
+            c.end_job(&mut kernel, JobId(5), ts);
+            for (k, text) in c.into_files() {
+                archive.insert(k, text);
+            }
+        }
+        archive
+    }
+
+    #[test]
+    fn accumulator_is_order_insensitive() {
+        let archive = two_host_archive();
+        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true };
+        let forward = {
+            let mut acc = StreamAccumulator::new(opts);
+            for (k, text) in archive.iter() {
+                acc.consume(*k, text);
+            }
+            acc.finish(&[], &[])
+        };
+        let backward = {
+            let mut acc = StreamAccumulator::new(opts);
+            for (k, text) in archive.iter().collect::<Vec<_>>().into_iter().rev() {
+                acc.consume(*k, text);
+            }
+            acc.finish(&[], &[])
+        };
+        assert_eq!(forward.stats, backward.stats);
+        let (f, b) = (forward.series.unwrap(), backward.series.unwrap());
+        assert_eq!(f.bins, b.bins);
+    }
+
+    #[test]
+    fn split_accumulators_absorb_to_the_same_result() {
+        let archive = two_host_archive();
+        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true };
+        let whole = {
+            let mut acc = StreamAccumulator::new(opts);
+            for (k, text) in archive.iter() {
+                acc.consume(*k, text);
+            }
+            acc.finish(&[], &[])
+        };
+        let halves = {
+            let mut left = StreamAccumulator::new(opts);
+            let mut right = StreamAccumulator::new(opts);
+            for (i, (k, text)) in archive.iter().enumerate() {
+                if i % 2 == 0 {
+                    left.consume(*k, text);
+                } else {
+                    right.consume(*k, text);
+                }
+            }
+            right.absorb(left).finish(&[], &[])
+        };
+        assert_eq!(whole.stats, halves.stats);
+        assert_eq!(whole.series.unwrap().bins, halves.series.unwrap().bins);
+    }
+
+    #[test]
+    fn corrupt_file_contributes_only_bytes() {
+        let partial = consume_file(
+            "$hostname h\n$arch a\n$cores 1\n$timestamp 0\nT 0 -\njunk line\n",
+            ConsumeOptions { bin_secs: Some(600), job_fragments: true },
+        );
+        assert!(!partial.parsed);
+        assert_eq!(partial.records, 0);
+        assert!(partial.bins.is_empty());
+        assert!(partial.frags.is_empty());
+        assert!(partial.bytes > 0);
+    }
+
+    #[test]
+    fn binning_can_be_disabled() {
+        let archive = two_host_archive();
+        let acc =
+            consume_archive(&archive, ConsumeOptions { bin_secs: None, job_fragments: true });
+        assert_eq!(acc.files(), archive.len());
+        assert_eq!(acc.total_bytes(), archive.total_bytes());
+        let out = acc.finish(&[], &[]);
+        assert!(out.series.is_none());
+        assert_eq!(out.stats.jobs_missing_accounting, 1);
+    }
+}

@@ -9,12 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use rayon::prelude::*;
-
 use supremm_metrics::{ExtendedMetric, Timestamp};
-use supremm_taccstats::derive::interval_metrics;
-use supremm_taccstats::format::parse;
 use supremm_taccstats::RawArchive;
+
+use crate::streaming::{consume_archive, ConsumeOptions};
 
 /// One cluster-wide time bin.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -48,7 +46,7 @@ pub struct SystemBin {
 }
 
 impl SystemBin {
-    fn absorb(&mut self, m: &supremm_taccstats::IntervalMetrics) {
+    pub(crate) fn absorb(&mut self, m: &supremm_taccstats::IntervalMetrics) {
         self.intervals += 1;
         self.flops += m.get(ExtendedMetric::CpuFlops);
         self.mem_used_bytes += m.get(ExtendedMetric::MemUsed);
@@ -65,7 +63,7 @@ impl SystemBin {
         self.lnet_tx_bps += m.get(ExtendedMetric::NetLnetTx);
     }
 
-    fn merge(&mut self, other: &SystemBin) {
+    pub(crate) fn merge(&mut self, other: &SystemBin) {
         self.active_nodes += other.active_nodes;
         self.busy_nodes += other.busy_nodes;
         self.intervals += other.intervals;
@@ -112,53 +110,19 @@ pub struct SystemSeries {
 
 impl SystemSeries {
     /// Build from a raw archive, binning at `bin_secs` (use the sampling
-    /// interval for full resolution). Parallel over files.
+    /// interval for full resolution). One parallel streaming pass over
+    /// the files via [`crate::streaming`].
     pub fn from_archive(archive: &RawArchive, bin_secs: u64) -> SystemSeries {
         assert!(bin_secs > 0);
-        let files: Vec<&str> = archive.iter().map(|(_, text)| text).collect();
-        let partials: Vec<BTreeMap<u64, SystemBin>> = files
-            .par_iter()
-            .map(|text| {
-                let mut bins: BTreeMap<u64, SystemBin> = BTreeMap::new();
-                let Ok(parsed) = parse(text) else { return bins };
-                let mut prev: Option<&supremm_taccstats::Record> = None;
-                // A host can write two records at one tick (end of one job
-                // + begin of the next); count it once per bin.
-                let mut last_counted_bin = None;
-                for rec in parsed.records() {
-                    let idx = rec.ts.0 / bin_secs;
-                    let bin = bins.entry(idx).or_default();
-                    if last_counted_bin != Some(idx) {
-                        bin.active_nodes += 1;
-                        if rec.job.is_some() {
-                            bin.busy_nodes += 1;
-                        }
-                        last_counted_bin = Some(idx);
-                    }
-                    if let Some(p) = prev {
-                        // Pair only within one job (or within an idle
-                        // stretch): across a job boundary the performance
-                        // counters were reprogrammed (cleared), and a
-                        // cleared counter is indistinguishable from a
-                        // wrapped one — the same rule the job-level ingest
-                        // applies.
-                        if p.job == rec.job {
-                            if let Some(m) = interval_metrics(p, rec) {
-                                bins.entry(idx).or_default().absorb(&m);
-                            }
-                        }
-                    }
-                    prev = Some(rec);
-                }
-                bins
-            })
-            .collect();
-        let mut merged: BTreeMap<u64, SystemBin> = BTreeMap::new();
-        for partial in partials {
-            for (idx, bin) in partial {
-                merged.entry(idx).or_default().merge(&bin);
-            }
-        }
+        let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: false };
+        let out = consume_archive(archive, opts).finish(&[], &[]);
+        out.series.expect("binning requested")
+    }
+
+    /// Stamp merged bins with their start timestamps. The cross-file
+    /// `SystemBin` merge order is fixed by the caller (file-key order),
+    /// which keeps the floating-point sums bit-identical run to run.
+    pub(crate) fn from_bins(merged: BTreeMap<u64, SystemBin>, bin_secs: u64) -> SystemSeries {
         let bins = merged
             .into_iter()
             .map(|(idx, mut bin)| {

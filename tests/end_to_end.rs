@@ -123,6 +123,24 @@ fn system_series_busy_nodes_match_job_table_occupancy() {
 }
 
 #[test]
+fn single_pass_ingest_matches_the_old_two_pass_outputs() {
+    use supremm_suite::warehouse::{ingest, ingest_with_series, SystemSeries};
+    let ds = dataset();
+    // One parse pass producing both products ...
+    let (jobs_single, stats_single, series_single) =
+        ingest_with_series(&ds.archive, &ds.accounting, &ds.lariat, 600);
+    // ... must equal the two independent passes it replaced, bit for bit.
+    let (jobs_two, stats_two) = ingest(&ds.archive, &ds.accounting, &ds.lariat);
+    let series_two = SystemSeries::from_archive(&ds.archive, 600);
+    assert_eq!(stats_single, stats_two);
+    assert_eq!(jobs_single.len(), jobs_two.len());
+    for (a, b) in jobs_single.iter().zip(&jobs_two) {
+        assert_eq!(a, b, "job {} diverged between passes", a.job);
+    }
+    assert_eq!(series_single.bins, series_two.bins);
+}
+
+#[test]
 fn syslog_failure_events_reference_real_jobs() {
     let ds = dataset();
     // Lariat records are written at job *start*, so they also cover jobs

@@ -9,7 +9,9 @@ use supremm_suite::metrics::{JobId, ScienceField, Timestamp, UserId};
 use supremm_suite::procsim::DeviceReading;
 use supremm_suite::ratlog::accounting::AccountingRecord;
 use supremm_suite::taccstats::delta::counter_delta;
-use supremm_suite::taccstats::format::{parse, FileWriter, JobMark, Record};
+use supremm_suite::taccstats::format::{
+    parse, stream, FileWriter, JobMark, Record, Sample, SampleRef,
+};
 
 // ---------------------------------------------------------------------
 // Raw-format round trip with arbitrary (schema-consistent) content.
@@ -44,8 +46,109 @@ fn arb_record() -> impl Strategy<Value = Record> {
     )
 }
 
+fn arb_mark() -> impl Strategy<Value = JobMark> {
+    (any::<bool>(), any::<u32>(), any::<u32>()).prop_map(|(begin, job, at)| {
+        let job = JobId(job as u64);
+        let at = Timestamp(at as u64);
+        if begin {
+            JobMark::Begin { job, at }
+        } else {
+            JobMark::End { job, at }
+        }
+    })
+}
+
+/// Marks interleaved with records; record timestamps drawn from a tiny
+/// set so multi-record ticks (several records sharing one `T` stamp)
+/// show up constantly.
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    prop_oneof![
+        3 => (arb_record(), 0u64..4).prop_map(|(mut r, tick)| {
+            r.ts = Timestamp(tick * 600);
+            Sample::Record(r)
+        }),
+        1 => arb_mark().prop_map(Sample::Mark),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -------------------------------------------------------------------
+    // Zero-copy streaming scanner vs the format writer: every sample the
+    // writer emits — records, `%` marks, multi-record ticks — comes back
+    // in order and value-identical.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn zero_copy_stream_agrees_with_the_writer(
+        samples in proptest::collection::vec(arb_sample(), 1..12),
+    ) {
+        let classes = DeviceClass::ALL;
+        let mut w = FileWriter::new("c0042", "amd64_core", 16, Timestamp(0), &classes);
+        for s in &samples {
+            match s {
+                Sample::Record(r) => w.write_record(r),
+                Sample::Mark(m) => w.write_mark(*m),
+            }
+        }
+        let text = w.finish();
+        let mut got = Vec::new();
+        for item in stream(&text).expect("writer output has a full header") {
+            match item.unwrap() {
+                SampleRef::Record(rec) => got.push(Sample::Record(rec.to_record())),
+                SampleRef::Mark(m) => got.push(Sample::Mark(m)),
+            }
+        }
+        prop_assert_eq!(got, samples);
+    }
+
+    #[test]
+    fn one_malformed_line_rejects_the_whole_file(
+        records in proptest::collection::vec(arb_record(), 1..6),
+        garbage in prop::sample::select(vec![
+            "???",                 // unknown device class
+            "T",                   // record start missing fields
+            "T zebra 7",           // non-numeric timestamp
+            "T 100 7 extra",       // record start with trailing junk
+            "% begin 1",           // mark missing its timestamp
+            "% jump 1 2",          // unknown mark kind
+            "cpu",                 // device row missing instance name
+            "mem c0 not_a_number", // non-numeric value
+        ]),
+        frac in 0.0f64..1.0,
+    ) {
+        let classes = DeviceClass::ALL;
+        let mut w = FileWriter::new("c0042", "amd64_core", 16, Timestamp(0), &classes);
+        for r in &records {
+            w.write_record(r);
+        }
+        let text = w.finish();
+        // Splice the garbage at an arbitrary line boundary in the body
+        // (the header stays intact so `stream` construction succeeds).
+        let lines: Vec<&str> = text.lines().collect();
+        let header_end = lines
+            .iter()
+            .position(|l| !l.starts_with('$') && !l.starts_with('!'))
+            .unwrap_or(lines.len());
+        let pos = header_end + ((lines.len() - header_end) as f64 * frac) as usize;
+        let mut corrupted = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            if i == pos {
+                corrupted.push_str(garbage);
+                corrupted.push('\n');
+            }
+            corrupted.push_str(l);
+            corrupted.push('\n');
+        }
+        if pos >= lines.len() {
+            corrupted.push_str(garbage);
+            corrupted.push('\n');
+        }
+        prop_assert!(parse(&corrupted).is_err());
+        let mut s = stream(&corrupted).expect("header untouched");
+        prop_assert!(s.any(|item| item.is_err()));
+    }
 
     #[test]
     fn format_round_trips_arbitrary_records(records in proptest::collection::vec(arb_record(), 1..8)) {
