@@ -6,18 +6,24 @@
 //!
 //! ```text
 //! repro [--nodes N] [--days D] [--only <substring>] [--seed S] [--bench-json]
+//!       [--fault-rate R] [--fault-seed S]
 //! ```
 //!
 //! `--bench-json` additionally writes `BENCH_pipeline.json` with the
 //! end-to-end pipeline timings (wall seconds, raw MB, MB/s, peak-RSS
 //! proxy) so runs can be compared across revisions.
 //!
+//! `--fault-rate R` (0.0–1.0) injects seeded collector faults — lost and
+//! truncated files, torn lines, duplicated ticks, clock skew — into the
+//! raw archives before ingest, then prints the per-resource coverage
+//! report showing how the lenient scanner quarantined the damage.
+//!
 //! Defaults: 48 nodes × 30 days Ranger, 36 nodes × 30 days Lonestar4 —
 //! enough for every shape while staying laptop-sized. The paper's full
 //! scale (3936 nodes × 20 months) changes volumes, not shapes; see
 //! DESIGN.md.
 
-use supremm_clustersim::ClusterConfig;
+use supremm_clustersim::{ClusterConfig, FaultPlan};
 use supremm_core::experiments::{self, ExperimentResult};
 use supremm_core::pipeline::{run_pipeline, MachineDataset, PipelineOptions};
 
@@ -27,10 +33,20 @@ struct Args {
     only: Option<String>,
     seed: Option<u64>,
     bench_json: bool,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { nodes: 48, days: 30, only: None, seed: None, bench_json: false };
+    let mut args = Args {
+        nodes: 48,
+        days: 30,
+        only: None,
+        seed: None,
+        bench_json: false,
+        fault_rate: 0.0,
+        fault_seed: 0x5eed,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,10 +65,22 @@ fn parse_args() -> Args {
             "--only" => args.only = it.next(),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()),
             "--bench-json" => args.bench_json = true,
+            "--fault-rate" => {
+                args.fault_rate = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fault-rate needs a number in 0.0..=1.0");
+                    std::process::exit(2);
+                })
+            }
+            "--fault-seed" => {
+                args.fault_seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fault-seed needs an integer");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--nodes N] [--days D] [--only <substring>] [--seed S] \
-                     [--bench-json]"
+                     [--bench-json] [--fault-rate R] [--fault-seed S]"
                 );
                 std::process::exit(0);
             }
@@ -75,14 +103,17 @@ struct BenchTiming {
     raw_mb: f64,
 }
 
-fn build(cfg: ClusterConfig, label: &str) -> (MachineDataset, BenchTiming) {
+fn build(cfg: ClusterConfig, label: &str, fault_plan: Option<FaultPlan>) -> (MachineDataset, BenchTiming) {
     eprintln!(
         "[repro] simulating {label}: {} nodes x {} days ...",
         cfg.node_count, cfg.sim_days
     );
     let (nodes, days) = (cfg.node_count, cfg.sim_days);
     let t0 = std::time::Instant::now();
-    let ds = run_pipeline(cfg, &PipelineOptions { keep_archive: true, ..Default::default() });
+    let ds = run_pipeline(
+        cfg,
+        &PipelineOptions { keep_archive: true, fault_plan, ..Default::default() },
+    );
     let wall_secs = t0.elapsed().as_secs_f64();
     let raw_mb = ds.raw_total_bytes as f64 / (1024.0 * 1024.0);
     eprintln!(
@@ -140,8 +171,36 @@ fn main() {
         ranger_cfg = ranger_cfg.with_seed(seed);
         ls4_cfg = ls4_cfg.with_seed(seed.wrapping_add(0x4c6f_6e65));
     }
-    let (ranger, ranger_timing) = build(ranger_cfg, "ranger");
-    let (ls4, ls4_timing) = build(ls4_cfg, "lonestar4");
+    let fault_plan = (args.fault_rate > 0.0)
+        .then(|| FaultPlan::with_rate(args.fault_seed, args.fault_rate));
+    let (ranger, ranger_timing) = build(ranger_cfg, "ranger", fault_plan);
+    let (ls4, ls4_timing) = build(ls4_cfg, "lonestar4", fault_plan);
+    if fault_plan.is_some() {
+        for ds in [&ranger, &ls4] {
+            let label = &ds.cfg.name;
+            let log = &ds.faults_injected;
+            eprintln!(
+                "[repro] {label}: injected {} fault events ({} files lost, {} truncated, \
+                 {} lines torn, {} ticks duplicated, {} records skewed, {} dropped)",
+                log.total_events(),
+                log.files_lost,
+                log.files_truncated,
+                log.lines_torn,
+                log.ticks_duplicated,
+                log.records_skewed,
+                log.records_dropped,
+            );
+            let report = supremm_xdmod::reports::coverage_report(
+                label,
+                &ds.table,
+                &ds.series,
+                &ds.ingest_stats,
+                ds.cfg.node_count,
+            );
+            print!("{}", report.to_table());
+            println!();
+        }
+    }
     if args.bench_json {
         match write_bench_json(&[ranger_timing, ls4_timing]) {
             Ok(()) => eprintln!("[repro] wrote BENCH_pipeline.json"),

@@ -19,12 +19,15 @@
 //!   structure).
 //! - [`scheduler`] — FCFS + EASY backfill over the node pool.
 //! - [`outage`] — scheduled/unscheduled downtime windows (Figure 8 dips).
+//! - [`faultsim`] — seeded fault injection for raw collector files
+//!   (crashes, truncation, torn lines, duplicated ticks, clock skew).
 //! - [`sim`] — the driving loop, emitting step events for the collector
 //!   and log layers.
 //! - [`rng`] — deterministic distribution sampling.
 
 pub mod apps;
 pub mod config;
+pub mod faultsim;
 pub mod job;
 pub mod outage;
 pub mod rng;
@@ -34,6 +37,7 @@ pub mod users;
 
 pub use apps::{AppCatalog, AppProfile, ResourceSignature};
 pub use config::ClusterConfig;
+pub use faultsim::{FaultPlan, FaultRates, InjectionLog};
 pub use job::{ExitStatus, JobSpec};
 pub use scheduler::SchedPolicy;
 pub use sim::{Simulation, StepEvents};

@@ -24,8 +24,9 @@ use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
+use supremm_clustersim::faultsim::InjectionLog;
 use supremm_clustersim::job::{CompletedJob, ExitStatus};
-use supremm_clustersim::{ClusterConfig, Simulation};
+use supremm_clustersim::{ClusterConfig, FaultPlan, Simulation};
 use supremm_metrics::{HostId, JobId, Timestamp};
 use supremm_ratlog::accounting::AccountingRecord;
 use supremm_ratlog::lariat::{exe_for_app, libraries_for, LariatRecord};
@@ -58,6 +59,14 @@ pub struct PipelineOptions {
     /// Ingest worker threads in overlap mode; `None` sizes from the
     /// available parallelism.
     pub ingest_workers: Option<usize>,
+    /// Seeded fault injection applied to every raw file at the
+    /// collector → ingest boundary (crashes, truncation, torn lines,
+    /// duplicated ticks, clock skew, dropped records). `None` — and any
+    /// plan whose rates are all zero — leaves every file untouched.
+    pub fault_plan: Option<FaultPlan>,
+    /// Whole-file rejection on the first malformed line (the PR 1
+    /// ingest behaviour) instead of record-level quarantine.
+    pub strict_ingest: bool,
 }
 
 impl Default for PipelineOptions {
@@ -67,6 +76,8 @@ impl Default for PipelineOptions {
             keep_archive: true,
             overlap: true,
             ingest_workers: None,
+            fault_plan: None,
+            strict_ingest: false,
         }
     }
 }
@@ -90,6 +101,9 @@ pub struct MachineDataset {
     pub syslog: Vec<RatRecord>,
     /// Jobs submitted by the simulator (includes still-queued ones).
     pub submitted_jobs: u64,
+    /// Ground truth of what the fault plan did to the raw files (all
+    /// zeros when fault injection is off).
+    pub faults_injected: InjectionLog,
 }
 
 fn exit_to_failed_code(e: ExitStatus) -> u32 {
@@ -262,6 +276,27 @@ fn drive_simulation(cfg: &ClusterConfig, mut on_file: impl FnMut(RawFileKey, Str
     SimStreams { accounting, lariat, syslog: syslog_records, submitted_jobs }
 }
 
+/// Wrap a file sink with the fault plan: every rotated file is mutated
+/// or dropped *before* it reaches ingest — exactly where a real
+/// facility's crashes corrupt the data — with the ground truth of what
+/// happened accumulated in `log`. With no plan the sink is untouched.
+fn faulted<'a>(
+    plan: Option<FaultPlan>,
+    log: &'a mut InjectionLog,
+    mut on_file: impl FnMut(RawFileKey, String) + 'a,
+) -> impl FnMut(RawFileKey, String) + 'a {
+    move |key, text| match plan {
+        None => on_file(key, text),
+        Some(plan) => {
+            let (out, l) = plan.apply_logged(key.host, key.day, text);
+            log.merge(&l);
+            if let Some(text) = out {
+                on_file(key, text);
+            }
+        }
+    }
+}
+
 fn ingest_worker_count(opts: &PipelineOptions) -> usize {
     opts.ingest_workers.unwrap_or_else(|| {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
@@ -273,15 +308,23 @@ fn ingest_worker_count(opts: &PipelineOptions) -> usize {
 /// Run the whole tool chain over one simulated machine.
 pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDataset {
     let bin = opts.series_bin_secs.unwrap_or(cfg.interval.seconds());
-    let consume_opts = ConsumeOptions { bin_secs: Some(bin), job_fragments: true };
+    let consume_opts = ConsumeOptions {
+        bin_secs: Some(bin),
+        job_fragments: true,
+        strict: opts.strict_ingest,
+    };
 
+    let mut fault_log = InjectionLog::default();
     let (streams, acc, archive) = if opts.overlap {
-        run_overlapped(&cfg, opts, consume_opts)
+        run_overlapped(&cfg, opts, consume_opts, &mut fault_log)
     } else {
         // Batch mode: materialise the full archive first, then one
         // parallel pass over it.
         let mut archive = RawArchive::new();
-        let streams = drive_simulation(&cfg, |key, text| archive.insert(key, text));
+        let streams = drive_simulation(
+            &cfg,
+            faulted(opts.fault_plan, &mut fault_log, |key, text| archive.insert(key, text)),
+        );
         let acc = supremm_warehouse::consume_archive(&archive, consume_opts);
         (streams, acc, archive)
     };
@@ -302,6 +345,7 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
         lariat: streams.lariat,
         syslog: streams.syslog,
         submitted_jobs: streams.submitted_jobs,
+        faults_injected: fault_log,
     }
 }
 
@@ -314,6 +358,7 @@ fn run_overlapped(
     cfg: &ClusterConfig,
     opts: &PipelineOptions,
     consume_opts: ConsumeOptions,
+    fault_log: &mut InjectionLog,
 ) -> (SimStreams, StreamAccumulator, RawArchive) {
     let workers = ingest_worker_count(opts);
     let keep = opts.keep_archive;
@@ -347,9 +392,12 @@ fn run_overlapped(
             })
             .collect();
 
-        let streams = drive_simulation(cfg, |key, text| {
-            tx.send((key, text)).expect("ingest workers alive");
-        });
+        let streams = drive_simulation(
+            cfg,
+            faulted(opts.fault_plan, fault_log, |key, text| {
+                tx.send((key, text)).expect("ingest workers alive");
+            }),
+        );
         drop(tx);
 
         let mut acc = StreamAccumulator::new(consume_opts);

@@ -39,6 +39,15 @@
 //! * [`parse`] — the batch API. Runs the same scanner and materialises
 //!   owned [`Record`]s, so its error behaviour and output are those of
 //!   the streaming layer by construction.
+//!
+//! Both of those are *strict*: the first malformed line rejects the
+//! whole file. Production raw files are routinely truncated or torn by
+//! node crashes and collector restarts, so there is a third entry
+//! point, [`stream_lenient`], which quarantines corrupt regions instead
+//! of failing: bad lines and the records they tear are skipped and
+//! accounted in a [`ScanQuarantine`], and every consumed byte is
+//! attributed to exactly one of clean/quarantined so downstream layers
+//! can verify conservation (`total == clean + quarantined`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -340,11 +349,49 @@ pub enum SampleRef<'a> {
     Mark(JobMark),
 }
 
+/// What a lenient scan skipped: corrupt lines, the records they tore,
+/// and how many contiguous corrupt regions the file contained. Byte
+/// counts cover everything not attributed to [`FileStream::clean_bytes`],
+/// so after a lenient stream is exhausted
+/// `clean_bytes + quarantine.bytes == total_bytes` exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanQuarantine {
+    /// Lines skipped (corrupt lines plus every line of a torn record).
+    pub lines: u64,
+    /// Bytes those lines occupied, including their newlines.
+    pub bytes: u64,
+    /// Records that were started (valid `T` line) but discarded because
+    /// a later line of the block was corrupt.
+    pub records: u64,
+    /// Contiguous corrupt regions. Two bad lines separated by good data
+    /// are two regions; a torn block plus its resync tail is one. This
+    /// is the scanner-level notion of a coverage gap.
+    pub regions: u64,
+}
+
+impl ScanQuarantine {
+    pub fn is_empty(&self) -> bool {
+        *self == ScanQuarantine::default()
+    }
+
+    pub fn merge(&mut self, other: &ScanQuarantine) {
+        self.lines += other.lines;
+        self.bytes += other.bytes;
+        self.records += other.records;
+        self.regions += other.regions;
+    }
+}
+
 /// Streaming zero-copy scanner over one raw file. Created by
-/// [`stream`]; iterating yields `Result<SampleRef, ParseError>`.
-/// Iteration is fused on error: once a line fails to parse the rest of
-/// the file is not scanned, mirroring the batch parser's whole-file
-/// rejection.
+/// [`stream`] (strict) or [`stream_lenient`]; iterating yields
+/// `Result<SampleRef, ParseError>`.
+///
+/// Strict iteration is fused on error: once a line fails to parse the
+/// rest of the file is not scanned, mirroring the batch parser's
+/// whole-file rejection. Lenient iteration never yields `Err`: corrupt
+/// lines are quarantined (with the record they tear), the scanner
+/// resynchronises at the next valid `T` or `%` line, and the damage is
+/// accounted in [`FileStream::quarantine`].
 #[derive(Debug, Clone)]
 pub struct FileStream<'a> {
     header: FileHeader<'a>,
@@ -355,6 +402,18 @@ pub struct FileStream<'a> {
     failed: bool,
     rows_hint: usize,
     vals_hint: usize,
+    strict: bool,
+    /// Resync mode: after corruption, skip until the next `T`/`%` line.
+    skipping: bool,
+    quar: ScanQuarantine,
+    /// Bytes/lines consumed by the in-flight record — attributed to
+    /// clean on flush or to the quarantine on discard.
+    current_bytes: u64,
+    current_lines: u64,
+    clean_bytes: u64,
+    total_bytes: u64,
+    records_started: u64,
+    records_emitted: u64,
 }
 
 /// Scan the `$` metadata and `!` schema block and return a
@@ -363,6 +422,20 @@ pub struct FileStream<'a> {
 /// zero-copy. Files whose data starts before the required `$` keys are
 /// rejected with [`ParseError::MissingHeader`].
 pub fn stream(text: &str) -> Result<FileStream<'_>, ParseError> {
+    stream_with(text, true)
+}
+
+/// Like [`stream`], but the returned scanner quarantines corrupt lines
+/// and records instead of failing (see [`FileStream::quarantine`]).
+/// Header failures still reject the whole file: without the `$`/`!`
+/// block the schema is unknowable and nothing downstream can be
+/// trusted, so a file that loses its header loses everything — which is
+/// exactly how a crash-truncated first write behaves in production.
+pub fn stream_lenient(text: &str) -> Result<FileStream<'_>, ParseError> {
+    stream_with(text, false)
+}
+
+fn stream_with(text: &str, strict: bool) -> Result<FileStream<'_>, ParseError> {
     let mut hostname = None;
     let mut arch = None;
     let mut cores = None;
@@ -433,6 +506,16 @@ pub fn stream(text: &str) -> Result<FileStream<'_>, ParseError> {
         failed: false,
         rows_hint: 0,
         vals_hint: 0,
+        strict,
+        skipping: false,
+        quar: ScanQuarantine::default(),
+        current_bytes: 0,
+        current_lines: 0,
+        // The header block parsed; its bytes are clean by construction.
+        clean_bytes: (text.len() - rest.len()) as u64,
+        total_bytes: text.len() as u64,
+        records_started: 0,
+        records_emitted: 0,
     })
 }
 
@@ -461,12 +544,44 @@ impl<'a> FileStream<'a> {
         &self.header
     }
 
+    /// What a lenient scan has skipped so far. Final only once the
+    /// iterator is exhausted. Always empty in strict mode.
+    pub fn quarantine(&self) -> ScanQuarantine {
+        self.quar
+    }
+
+    /// Bytes attributed to cleanly parsed content (header, marks,
+    /// emitted records, blank/metadata lines). After a lenient stream
+    /// is exhausted, `clean_bytes() + quarantine().bytes` equals
+    /// [`FileStream::total_bytes`] exactly.
+    pub fn clean_bytes(&self) -> u64 {
+        self.clean_bytes
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Records whose `T` line parsed, whether or not they survived.
+    /// `records_started == records_emitted + quarantine().records`
+    /// once the stream is exhausted.
+    pub fn records_started(&self) -> u64 {
+        self.records_started
+    }
+
+    /// Records actually yielded to the consumer.
+    pub fn records_emitted(&self) -> u64 {
+        self.records_emitted
+    }
+
     #[inline]
-    fn take_line(&mut self) -> Option<(&'a str, usize)> {
+    fn take_line(&mut self) -> Option<(&'a str, usize, u64)> {
+        let before = self.rest.len();
         let (line, no, after) = split_line(self.rest, self.line_no)?;
+        let consumed = (before - after.len()) as u64;
         self.rest = after;
         self.line_no = no + 1;
-        Some((line, no))
+        Some((line, no, consumed))
     }
 
     /// Finish the in-flight record and remember its size so the next
@@ -476,7 +591,33 @@ impl<'a> FileStream<'a> {
         let rec = self.current.take()?;
         self.rows_hint = rec.rows.len();
         self.vals_hint = rec.values.len();
+        self.clean_bytes += self.current_bytes;
+        self.current_bytes = 0;
+        self.current_lines = 0;
+        self.records_emitted += 1;
         Some(rec)
+    }
+
+    /// Quarantine the in-flight record: a later line of its block was
+    /// corrupt, so none of it can be trusted.
+    fn discard_current(&mut self) {
+        if self.current.take().is_some() {
+            self.quar.records += 1;
+        }
+        self.quar.bytes += self.current_bytes;
+        self.quar.lines += self.current_lines;
+        self.current_bytes = 0;
+        self.current_lines = 0;
+    }
+
+    /// Quarantine one line; opening a new corrupt region unless already
+    /// inside one.
+    fn quarantine_line(&mut self, nbytes: u64) {
+        self.quar.bytes += nbytes;
+        self.quar.lines += 1;
+        if !self.skipping {
+            self.quar.regions += 1;
+        }
     }
 
     fn parse_mark(line: &str, line_no: usize) -> Result<JobMark, ParseError> {
@@ -590,15 +731,23 @@ impl<'a> Iterator for FileStream<'a> {
             return Some(Ok(SampleRef::Mark(mark)));
         }
         loop {
-            let Some((line, line_no)) = self.take_line() else {
+            let Some((line, line_no, nbytes)) = self.take_line() else {
+                // Trailing blank lines are clean content.
+                self.clean_bytes += self.rest.len() as u64;
+                self.rest = "";
                 return self.flush_current().map(|rec| Ok(SampleRef::Record(rec)));
             };
             match line.as_bytes()[0] {
                 // Metadata or schema lines after the header block carry
                 // no data; tolerated as in the batch parser.
-                b'$' | b'!' => continue,
+                b'$' | b'!' => {
+                    self.clean_bytes += nbytes;
+                    continue;
+                }
                 b'%' => match Self::parse_mark(line, line_no) {
                     Ok(mark) => {
+                        self.clean_bytes += nbytes;
+                        self.skipping = false;
                         if let Some(rec) = self.flush_current() {
                             self.stashed_mark = Some(mark);
                             return Some(Ok(SampleRef::Record(rec)));
@@ -606,28 +755,66 @@ impl<'a> Iterator for FileStream<'a> {
                         return Some(Ok(SampleRef::Mark(mark)));
                     }
                     Err(e) => {
-                        self.failed = true;
-                        return Some(Err(e));
+                        if self.strict {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                        // A garbled mark loses only itself; the record
+                        // block around it is still coherent.
+                        self.quarantine_line(nbytes);
                     }
                 },
                 b'T' => match Self::parse_record_start(line, line_no) {
                     Ok((ts, job)) => {
+                        self.records_started += 1;
+                        self.skipping = false;
                         let fresh = RecordRef::new(ts, job, self.rows_hint, self.vals_hint);
                         if let Some(rec) = self.flush_current() {
                             self.current = Some(fresh);
+                            self.current_bytes = nbytes;
+                            self.current_lines = 1;
                             return Some(Ok(SampleRef::Record(rec)));
                         }
                         self.current = Some(fresh);
+                        self.current_bytes = nbytes;
+                        self.current_lines = 1;
                     }
                     Err(e) => {
-                        self.failed = true;
-                        return Some(Err(e));
+                        if self.strict {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                        // A bad T line is still a record boundary: the
+                        // previous block is complete and emittable; the
+                        // rows that follow belong to an unknown
+                        // timestamp and are skipped until resync.
+                        self.quarantine_line(nbytes);
+                        self.skipping = true;
+                        if let Some(rec) = self.flush_current() {
+                            return Some(Ok(SampleRef::Record(rec)));
+                        }
                     }
                 },
                 _ => {
+                    if self.skipping {
+                        self.quar.bytes += nbytes;
+                        self.quar.lines += 1;
+                        continue;
+                    }
                     if let Err(e) = self.push_row(line, line_no) {
-                        self.failed = true;
-                        return Some(Err(e));
+                        if self.strict {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                        // A corrupt row poisons its whole block: discard
+                        // the in-flight record and resync at the next
+                        // T/% line.
+                        self.quarantine_line(nbytes);
+                        self.discard_current();
+                        self.skipping = true;
+                    } else if self.current.is_some() {
+                        self.current_bytes += nbytes;
+                        self.current_lines += 1;
                     }
                 }
             }
@@ -842,6 +1029,134 @@ mod tests {
         assert!(view.row(DeviceClass::Mem, "0").is_none());
         assert_eq!(view.class_rows(DeviceClass::Cpu).count(), 2);
         assert_eq!(view.to_record(), rec);
+    }
+
+    /// Exhaust a lenient stream, returning the clean samples, and
+    /// assert the byte + record conservation invariants.
+    fn drain_lenient(text: &str) -> (Vec<Sample>, ScanQuarantine) {
+        let mut s = stream_lenient(text).unwrap();
+        let mut out = Vec::new();
+        while let Some(item) = s.next() {
+            match item.expect("lenient streams never yield Err") {
+                SampleRef::Record(r) => out.push(Sample::Record(r.to_record())),
+                SampleRef::Mark(m) => out.push(Sample::Mark(m)),
+            }
+        }
+        let q = s.quarantine();
+        assert_eq!(
+            s.clean_bytes() + q.bytes,
+            s.total_bytes(),
+            "byte conservation: every byte is clean or quarantined"
+        );
+        assert_eq!(
+            s.records_started(),
+            s.records_emitted() + q.records,
+            "record conservation: every started record is emitted or quarantined"
+        );
+        (out, q)
+    }
+
+    #[test]
+    fn lenient_on_a_clean_file_matches_strict_exactly() {
+        let text = write_small_file();
+        let (samples, q) = drain_lenient(&text);
+        assert!(q.is_empty());
+        assert_eq!(samples, parse(&text).unwrap().samples);
+    }
+
+    #[test]
+    fn lenient_skips_a_torn_row_and_its_block() {
+        // Three records; the middle one's row is torn mid-value.
+        let good = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            T 0 -\nlnet lnet 1 2 3 4 5\n\
+            T 600 -\nlnet lnet 1 2 zz#\n\
+            T 1200 -\nlnet lnet 6 7 8 9 10\n";
+        let (samples, q) = drain_lenient(good);
+        let recs: Vec<&Record> = samples
+            .iter()
+            .filter_map(|s| match s {
+                Sample::Record(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recs.len(), 2, "torn middle record quarantined");
+        assert_eq!(recs[0].ts, Timestamp(0));
+        assert_eq!(recs[1].ts, Timestamp(1200));
+        assert_eq!(q.records, 1);
+        assert_eq!(q.lines, 2, "the T 600 line and its bad row");
+        assert_eq!(q.regions, 1);
+    }
+
+    #[test]
+    fn lenient_resyncs_after_a_bad_t_line() {
+        // The bad T orphans its rows; the next good T resyncs.
+        let text = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            T 0 -\nlnet lnet 1 2 3 4 5\n\
+            T zz -\nlnet lnet 9 9 9 9 9\n\
+            T 1200 -\nlnet lnet 6 7 8 9 10\n";
+        let (samples, q) = drain_lenient(text);
+        let recs: Vec<&Record> = samples
+            .iter()
+            .filter_map(|s| match s {
+                Sample::Record(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        // The record before the bad T is complete — it survives.
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Timestamp(0));
+        assert_eq!(q.records, 0, "no started record was torn");
+        assert_eq!(q.lines, 2, "bad T plus its orphaned row");
+        assert_eq!(q.regions, 1);
+    }
+
+    #[test]
+    fn lenient_garbled_mark_loses_only_itself() {
+        let text = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            % begin 7 0\nT 0 7\nlnet lnet 1 2 3 4 5\n% end zz 600\nT 600 -\n\
+            lnet lnet 2 3 4 5 6\n";
+        let (samples, q) = drain_lenient(text);
+        assert_eq!(q.lines, 1);
+        assert_eq!(q.records, 0);
+        let marks = samples
+            .iter()
+            .filter(|s| matches!(s, Sample::Mark(_)))
+            .count();
+        let recs = samples
+            .iter()
+            .filter(|s| matches!(s, Sample::Record(_)))
+            .count();
+        assert_eq!((marks, recs), (1, 2), "both records and the good mark survive");
+    }
+
+    #[test]
+    fn lenient_still_rejects_headerless_files() {
+        // No schema → nothing downstream can be trusted.
+        assert!(stream_lenient("garbage\nmore garbage\n").is_err());
+        assert!(stream_lenient("$hostname h\nT 0 -\n").is_err());
+    }
+
+    #[test]
+    fn lenient_truncated_tail_quarantines_the_last_record() {
+        let full = write_small_file();
+        // Cut mid-way through the last record's final row.
+        let cut = full.len() - 9;
+        let text = &full[..cut];
+        let (_, q) = drain_lenient(text);
+        assert_eq!(q.records, 1, "truncated final block discarded");
+        assert_eq!(q.regions, 1);
+    }
+
+    #[test]
+    fn strict_and_lenient_flags_do_not_mix_state() {
+        let text = write_small_file();
+        // Strict path still fails hard on a bad line.
+        let bad = format!("{text}T zz -\n");
+        let strict_err = stream(&bad).unwrap().find_map(Result::err);
+        assert!(strict_err.is_some());
+        // Lenient path quarantines the same file.
+        let (_, q) = drain_lenient(&bad);
+        assert_eq!(q.lines, 1);
     }
 
     #[test]

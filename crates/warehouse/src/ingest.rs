@@ -31,6 +31,8 @@ pub(crate) struct JobFragment {
     mem_max: f64,
     intervals: u32,
     flops_invalid: u32,
+    /// Corrupt-region coverage gaps charged to this job (lenient scans).
+    pub(crate) gaps: u32,
 }
 
 impl JobFragment {
@@ -53,6 +55,11 @@ impl JobFragment {
         self.mem_max = self.mem_max.max(other.mem_max);
         self.intervals += other.intervals;
         self.flops_invalid += other.flops_invalid;
+        self.gaps += other.gaps;
+    }
+
+    pub(crate) fn add_gaps(&mut self, n: u32) {
+        self.gaps += n;
     }
 }
 
@@ -70,6 +77,25 @@ pub struct IngestStats {
     /// Accounted jobs with no usable samples (mostly shorter than the
     /// sampling interval — the paper excludes these from analysis too).
     pub jobs_missing_samples: usize,
+    /// Records whose `T` line parsed, whether or not they survived.
+    /// Conservation: `records_seen == records + samples_quarantined`.
+    pub records_seen: usize,
+    /// Records torn by corruption and discarded by the lenient scanner.
+    pub samples_quarantined: usize,
+    /// Bytes attributed to corrupt lines/regions (includes every byte
+    /// of files rejected outright).
+    pub bytes_quarantined: u64,
+    /// Contiguous corrupt regions across all files — the archive-wide
+    /// coverage-gap count.
+    pub gaps: usize,
+}
+
+impl IngestStats {
+    /// The quarantine conservation invariant: every record the scanner
+    /// accepted a `T` line for was either ingested or quarantined.
+    pub fn conservation_holds(&self) -> bool {
+        self.records_seen == self.records + self.samples_quarantined
+    }
 }
 
 /// Run the full ingest: parse every raw file in parallel (one pass per
@@ -79,7 +105,7 @@ pub fn ingest(
     accounting: &[AccountingRecord],
     lariat: &[LariatRecord],
 ) -> (Vec<JobRecord>, IngestStats) {
-    let opts = ConsumeOptions { bin_secs: None, job_fragments: true };
+    let opts = ConsumeOptions { bin_secs: None, job_fragments: true, strict: false };
     let out = consume_archive(archive, opts).finish(accounting, lariat);
     (out.records, out.stats)
 }
@@ -94,7 +120,7 @@ pub fn ingest_with_series(
     bin_secs: u64,
 ) -> (Vec<JobRecord>, IngestStats, SystemSeries) {
     assert!(bin_secs > 0);
-    let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: true };
+    let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: true, strict: false };
     let out = consume_archive(archive, opts).finish(accounting, lariat);
     (out.records, out.stats, out.series.expect("binning requested"))
 }
@@ -154,6 +180,7 @@ pub(crate) fn assemble_jobs(
             extended,
             flops_valid: frag.flops_invalid == 0,
             samples: frag.intervals,
+            coverage_gaps: frag.gaps,
         });
     }
     stats.jobs = records.len();

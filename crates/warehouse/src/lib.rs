@@ -33,5 +33,5 @@ pub mod timeseries;
 pub use ingest::{ingest, ingest_with_series, IngestStats};
 pub use record::{ExitKind, JobRecord};
 pub use store::JobTable;
-pub use streaming::{consume_archive, ConsumeOptions, StreamAccumulator, StreamOutput};
+pub use streaming::{consume_archive, ConsumeOptions, FilePartial, StreamAccumulator, StreamOutput};
 pub use timeseries::{SystemBin, SystemSeries};

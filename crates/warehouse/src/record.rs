@@ -70,6 +70,9 @@ pub struct JobRecord {
     pub flops_valid: bool,
     /// Node-interval observations behind the means.
     pub samples: u32,
+    /// Corrupt-region coverage gaps in this job's raw data (lenient
+    /// ingest only; always 0 on clean archives or strict scans).
+    pub coverage_gaps: u32,
 }
 
 impl JobRecord {
@@ -114,6 +117,7 @@ mod tests {
             extended: [0.0; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 24,
+            coverage_gaps: 0,
         }
     }
 

@@ -165,6 +165,7 @@ mod tests {
             extended: [0.5; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 6,
+            coverage_gaps: 0,
         }
     }
 
@@ -304,6 +305,7 @@ mod persistence_tests {
             extended: [0.125; ExtendedMetric::ALL.len()],
             flops_valid: false,
             samples: 11,
+            coverage_gaps: 0,
         }])
     }
 

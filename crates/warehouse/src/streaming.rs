@@ -18,7 +18,7 @@ use supremm_metrics::JobId;
 use supremm_ratlog::accounting::AccountingRecord;
 use supremm_ratlog::lariat::LariatRecord;
 use supremm_taccstats::derive::interval_metrics_ref;
-use supremm_taccstats::format::{stream, RecordRef, SampleRef};
+use supremm_taccstats::format::{stream, stream_lenient, RecordRef, SampleRef};
 use supremm_taccstats::{RawArchive, RawFileKey};
 
 use crate::ingest::{assemble_jobs, IngestStats, JobFragment};
@@ -32,40 +32,98 @@ pub struct ConsumeOptions {
     pub bin_secs: Option<u64>,
     /// Accumulate per-job fragments (the job-ingest side).
     pub job_fragments: bool,
+    /// Whole-file rejection on the first malformed line (the PR 1
+    /// behaviour). The default is lenient: corrupt regions are
+    /// quarantined record-by-record and the rest of the file survives,
+    /// which is what a production facility needs when collectors crash
+    /// mid-write.
+    pub strict: bool,
+}
+
+impl Default for ConsumeOptions {
+    fn default() -> ConsumeOptions {
+        ConsumeOptions { bin_secs: None, job_fragments: true, strict: false }
+    }
 }
 
 /// Everything one raw file contributes, before cross-file merging.
 #[derive(Debug, Clone, Default)]
 pub struct FilePartial {
     pub bytes: u64,
-    /// False when the file was rejected by the parser (whole-file
-    /// rejection: a corrupt file contributes nothing but its byte count).
+    /// False when the file was rejected outright: a missing/corrupt
+    /// header (no schema → nothing trustable), or any malformed line
+    /// under `strict`. A rejected file contributes nothing but its byte
+    /// count, all of it quarantined.
     pub parsed: bool,
     pub records: usize,
     pub intervals: usize,
+    /// Records whose `T` line parsed, whether or not they survived.
+    /// Conservation: `records_seen == records + records_quarantined`.
+    pub records_seen: usize,
+    /// Records torn by corruption and discarded.
+    pub records_quarantined: usize,
+    /// Bytes attributed to corrupt lines/regions. Conservation:
+    /// `bytes == bytes_clean + bytes_quarantined`.
+    pub bytes_quarantined: u64,
+    pub bytes_clean: u64,
+    /// Contiguous corrupt regions — the per-file coverage-gap count.
+    pub gaps: usize,
     pub(crate) frags: HashMap<JobId, JobFragment>,
     pub(crate) bins: BTreeMap<u64, SystemBin>,
 }
 
+impl FilePartial {
+    /// One fully rejected file: every byte quarantined, one gap.
+    fn rejected(bytes: u64) -> FilePartial {
+        FilePartial {
+            bytes,
+            bytes_quarantined: bytes,
+            gaps: if bytes > 0 { 1 } else { 0 },
+            ..FilePartial::default()
+        }
+    }
+}
+
 /// Consume one raw file in a single streaming pass.
 ///
-/// Matches the batch semantics exactly: a parse error anywhere voids
-/// the whole file; job intervals require the same job tag on both
-/// endpoints; series intervals pair any equal tags (including idle);
-/// a host is counted active/busy once per bin even when two records
-/// share a tick (job end + next begin).
+/// Matches the batch semantics exactly: job intervals require the same
+/// job tag on both endpoints; series intervals pair any equal tags
+/// (including idle); a host is counted active/busy once per bin even
+/// when two records share a tick (job end + next begin).
+///
+/// Under `strict`, a parse error anywhere voids the whole file (PR 1
+/// semantics). Otherwise corrupt regions are quarantined by the lenient
+/// scanner and accounted here; records on either side of a gap still
+/// pair into an interval — the counters are cumulative, so the delta
+/// across the gap is sound, just averaged over a longer `dt`. Each gap
+/// is charged to the job running around it (the surrounding records'
+/// tag) so job summaries can report degraded coverage.
 pub fn consume_file(text: &str, opts: ConsumeOptions) -> FilePartial {
     let bytes = text.len() as u64;
-    let rejected = FilePartial { bytes, ..FilePartial::default() };
-    let Ok(samples) = stream(text) else { return rejected };
+    let scan = if opts.strict { stream(text) } else { stream_lenient(text) };
+    let Ok(mut samples) = scan else { return FilePartial::rejected(bytes) };
 
     let mut out = FilePartial { bytes, parsed: true, ..FilePartial::default() };
     let mut prev: Option<RecordRef<'_>> = None;
     let mut last_counted_bin = None;
-    for item in samples {
-        let Ok(sample) = item else { return rejected };
+    let mut seen_regions = 0u64;
+    while let Some(item) = samples.next() {
+        let Ok(sample) = item else { return FilePartial::rejected(bytes) };
         let SampleRef::Record(rec) = sample else { continue };
         out.records += 1;
+        // Corrupt regions since the previous record are gaps around
+        // here; charge them to the job on either side of the gap.
+        let regions = samples.quarantine().regions;
+        if regions > seen_regions {
+            let delta = (regions - seen_regions) as u32;
+            seen_regions = regions;
+            let job = rec.job.or_else(|| prev.as_ref().and_then(|p| p.job));
+            if opts.job_fragments {
+                if let Some(job) = job {
+                    out.frags.entry(job).or_default().add_gaps(delta);
+                }
+            }
+        }
         if let Some(bin_secs) = opts.bin_secs {
             let idx = rec.ts.0 / bin_secs;
             let bin = out.bins.entry(idx).or_default();
@@ -98,6 +156,22 @@ pub fn consume_file(text: &str, opts: ConsumeOptions) -> FilePartial {
         }
         prev = Some(rec);
     }
+    // Trailing corruption (e.g. a crash-truncated tail) is a gap too,
+    // charged to whatever job the file was last sampling.
+    let quar = samples.quarantine();
+    if quar.regions > seen_regions {
+        let delta = (quar.regions - seen_regions) as u32;
+        if opts.job_fragments {
+            if let Some(job) = prev.as_ref().and_then(|p| p.job) {
+                out.frags.entry(job).or_default().add_gaps(delta);
+            }
+        }
+    }
+    out.records_seen = samples.records_started() as usize;
+    out.records_quarantined = quar.records as usize;
+    out.bytes_quarantined = quar.bytes;
+    out.bytes_clean = samples.clean_bytes();
+    out.gaps = quar.regions as usize;
     out
 }
 
@@ -168,6 +242,10 @@ impl StreamAccumulator {
         let mut merged: BTreeMap<u64, SystemBin> = BTreeMap::new();
         for partial in self.partials.into_values() {
             stats.files += 1;
+            stats.records_seen += partial.records_seen;
+            stats.samples_quarantined += partial.records_quarantined;
+            stats.bytes_quarantined += partial.bytes_quarantined;
+            stats.gaps += partial.gaps;
             if !partial.parsed {
                 stats.parse_errors += 1;
                 continue;
@@ -232,7 +310,7 @@ mod tests {
     #[test]
     fn accumulator_is_order_insensitive() {
         let archive = two_host_archive();
-        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true };
+        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true, strict: false };
         let forward = {
             let mut acc = StreamAccumulator::new(opts);
             for (k, text) in archive.iter() {
@@ -255,7 +333,7 @@ mod tests {
     #[test]
     fn split_accumulators_absorb_to_the_same_result() {
         let archive = two_host_archive();
-        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true };
+        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true, strict: false };
         let whole = {
             let mut acc = StreamAccumulator::new(opts);
             for (k, text) in archive.iter() {
@@ -280,23 +358,77 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_contributes_only_bytes() {
+    fn strict_mode_rejects_the_whole_file() {
+        let text = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\nT 0 -\njunk line\n";
         let partial = consume_file(
-            "$hostname h\n$arch a\n$cores 1\n$timestamp 0\nT 0 -\njunk line\n",
-            ConsumeOptions { bin_secs: Some(600), job_fragments: true },
+            text,
+            ConsumeOptions { bin_secs: Some(600), job_fragments: true, strict: true },
         );
         assert!(!partial.parsed);
         assert_eq!(partial.records, 0);
         assert!(partial.bins.is_empty());
         assert!(partial.frags.is_empty());
-        assert!(partial.bytes > 0);
+        assert_eq!(partial.bytes, text.len() as u64);
+        assert_eq!(partial.bytes_quarantined, partial.bytes);
+        assert_eq!(partial.gaps, 1);
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_the_corrupt_region_only() {
+        let text = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            T 0 7\nlnet lnet 1 2 3 4 5\n\
+            T 600 7\nlnet lnet 2 3 zz 5 6\n\
+            T 1200 7\nlnet lnet 3 4 5 6 7\n";
+        let partial = consume_file(
+            text,
+            ConsumeOptions { bin_secs: Some(600), job_fragments: true, strict: false },
+        );
+        assert!(partial.parsed);
+        assert_eq!(partial.records, 2, "records before and after the tear survive");
+        assert_eq!(partial.records_quarantined, 1);
+        assert_eq!(partial.records_seen, partial.records + partial.records_quarantined);
+        assert_eq!(partial.bytes_clean + partial.bytes_quarantined, partial.bytes);
+        assert_eq!(partial.gaps, 1);
+        // The gap is charged to job 7, which also still gets the
+        // interval spanning it (cumulative counters stay sound).
+        let frag = &partial.frags[&JobId(7)];
+        assert_eq!(frag.gaps, 1);
+    }
+
+    #[test]
+    fn headerless_files_are_rejected_even_lenient() {
+        let partial = consume_file(
+            "total garbage\nnot a raw file\n",
+            ConsumeOptions { bin_secs: None, job_fragments: true, strict: false },
+        );
+        assert!(!partial.parsed);
+        assert_eq!(partial.bytes_quarantined, partial.bytes);
+    }
+
+    #[test]
+    fn finish_surfaces_quarantine_accounting() {
+        let clean = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            T 0 -\nlnet lnet 1 2 3 4 5\nT 600 -\nlnet lnet 2 3 4 5 6\n";
+        let torn = "$hostname h\n$arch a\n$cores 1\n$timestamp 0\n!lnet x\n\
+            T 0 -\nlnet lnet 1 2 3 4 5\nT 600 -\nlnet lnet broken\n";
+        let mut acc = StreamAccumulator::new(ConsumeOptions::default());
+        acc.consume(RawFileKey { host: HostId(0), day: 0 }, clean);
+        acc.consume(RawFileKey { host: HostId(1), day: 0 }, torn);
+        let out = acc.finish(&[], &[]);
+        assert_eq!(out.stats.parse_errors, 0);
+        assert_eq!(out.stats.records_seen, 4);
+        assert_eq!(out.stats.records, 3);
+        assert_eq!(out.stats.samples_quarantined, 1);
+        assert_eq!(out.stats.records_seen, out.stats.records + out.stats.samples_quarantined);
+        assert_eq!(out.stats.gaps, 1);
+        assert!(out.stats.bytes_quarantined > 0);
     }
 
     #[test]
     fn binning_can_be_disabled() {
         let archive = two_host_archive();
         let acc =
-            consume_archive(&archive, ConsumeOptions { bin_secs: None, job_fragments: true });
+            consume_archive(&archive, ConsumeOptions { bin_secs: None, job_fragments: true, strict: false });
         assert_eq!(acc.files(), archive.len());
         assert_eq!(acc.total_bytes(), archive.total_bytes());
         let out = acc.finish(&[], &[]);

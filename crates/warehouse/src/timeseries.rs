@@ -114,7 +114,7 @@ impl SystemSeries {
     /// the files via [`crate::streaming`].
     pub fn from_archive(archive: &RawArchive, bin_secs: u64) -> SystemSeries {
         assert!(bin_secs > 0);
-        let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: false };
+        let opts = ConsumeOptions { bin_secs: Some(bin_secs), job_fragments: false, strict: false };
         let out = consume_archive(archive, opts).finish(&[], &[]);
         out.series.expect("binning requested")
     }
@@ -136,6 +136,24 @@ impl SystemSeries {
     /// Extract one scalar per bin.
     pub fn series(&self, f: impl Fn(&SystemBin) -> f64) -> Vec<f64> {
         self.bins.iter().map(f).collect()
+    }
+
+    /// Measurement coverage: the fraction of node-bins (node-hours, in
+    /// bin units) for which a valid sample arrived, over a fleet of
+    /// `node_count` nodes and the densified span of this series. 1.0
+    /// means every node reported in every bin; collector crashes, lost
+    /// files, and quarantined records all push it down. This is the
+    /// paper's missing-data discussion made into a number.
+    pub fn coverage(&self, node_count: u32) -> f64 {
+        if node_count == 0 || self.bins.is_empty() {
+            return 0.0;
+        }
+        let first = self.bins.first().expect("non-empty").ts.0;
+        let last = self.bins.last().expect("non-empty").ts.0;
+        let span_bins = (last - first) / self.bin_secs + 1;
+        let possible = span_bins as f64 * node_count as f64;
+        let observed: f64 = self.bins.iter().map(|b| b.active_nodes as f64).sum();
+        (observed / possible).min(1.0)
     }
 
     /// Fill gaps so the series is equally spaced from the first to the
@@ -286,5 +304,17 @@ mod tests {
         let s = SystemSeries::from_archive(&RawArchive::new(), 600);
         assert!(s.bins.is_empty());
         assert!(s.dense().bins.is_empty());
+        assert_eq!(s.coverage(3), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_node_bins() {
+        // small_archive: hosts 0/1 report 6 bins each (600..3600), host 2
+        // reports 3 (600..1800) → 15 node-bins of 18 possible.
+        let series = SystemSeries::from_archive(&small_archive(), 600);
+        let cov = series.coverage(3);
+        assert!((cov - 15.0 / 18.0).abs() < 1e-12, "{cov}");
+        // Full coverage of the reporting subset would be 1.0.
+        assert!(series.coverage(0) == 0.0);
     }
 }

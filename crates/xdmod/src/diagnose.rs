@@ -200,6 +200,7 @@ mod tests {
             extended: [0.0; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 5,
+            coverage_gaps: 0,
         }
     }
 

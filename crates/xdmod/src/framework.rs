@@ -180,6 +180,7 @@ mod tests {
             extended: [0.0; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 4,
+            coverage_gaps: 0,
         }
     }
 

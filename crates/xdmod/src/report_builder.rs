@@ -218,6 +218,7 @@ mod tests {
                 extended: [0.0; ExtendedMetric::ALL.len()],
                 flops_valid: true,
                 samples: 12,
+                coverage_gaps: 0,
             }
         };
         let table = JobTable::new((0..12).map(|i| job(i, (i % 5) as u32)).collect());

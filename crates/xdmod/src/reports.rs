@@ -341,6 +341,7 @@ mod tests {
             extended,
             flops_valid: true,
             samples: 6,
+            coverage_gaps: 0,
         }
     }
 
@@ -585,6 +586,7 @@ mod bouquet_tests {
             extended: [0.0; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 10,
+            coverage_gaps: 0,
         }
     }
 
@@ -799,6 +801,7 @@ mod user_report_tests {
             extended: [0.0; ExtendedMetric::ALL.len()],
             flops_valid: true,
             samples: 60,
+            coverage_gaps: 0,
         }
     }
 
@@ -838,5 +841,195 @@ mod user_report_tests {
     #[test]
     fn unknown_user_is_none() {
         assert!(user_report(&table(), UserId(99)).is_none());
+    }
+}
+
+/// Data-quality report for one resource: what fraction of the machine's
+/// node-time actually has valid samples behind it, and where the rest
+/// went. §4.1 notes the ingested raw data is incomplete in practice
+/// (collector crashes, lost files); this makes that incompleteness a
+/// first-class, per-resource number instead of a silent bias in every
+/// downstream figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    pub resource: String,
+    /// Fraction of node·bins over the series span with a valid sample
+    /// (1.0 = every node reported in every bin).
+    pub series_coverage: f64,
+    /// Fraction of job node-hours backed by gap-free raw data.
+    pub clean_node_hours_fraction: f64,
+    /// Jobs whose raw data contained at least one corrupt region.
+    pub jobs_with_gaps: usize,
+    pub total_jobs: usize,
+    /// Contiguous corrupt regions across the whole archive.
+    pub gaps: usize,
+    /// Quarantine accounting carried over from ingest.
+    pub records_seen: usize,
+    pub samples_quarantined: usize,
+    pub bytes_quarantined: u64,
+    /// Files rejected outright (unreadable header, or any error under
+    /// strict ingest).
+    pub files_rejected: usize,
+}
+
+/// Build the per-resource coverage report from the three artifacts a
+/// pipeline run already produces: the job table (per-job gap counts),
+/// the system series (node·bin coverage), and the ingest stats
+/// (quarantine totals). `node_count` sizes the fleet the series is
+/// measured against.
+pub fn coverage_report(
+    resource: &str,
+    table: &JobTable,
+    series: &SystemSeries,
+    stats: &supremm_warehouse::IngestStats,
+    node_count: u32,
+) -> CoverageReport {
+    let mut clean_hours = 0.0;
+    let mut total_hours = 0.0;
+    let mut jobs_with_gaps = 0usize;
+    for j in table.jobs() {
+        let h = j.node_hours();
+        total_hours += h;
+        if j.coverage_gaps == 0 {
+            clean_hours += h;
+        } else {
+            jobs_with_gaps += 1;
+        }
+    }
+    CoverageReport {
+        resource: resource.to_string(),
+        series_coverage: series.coverage(node_count),
+        clean_node_hours_fraction: if total_hours > 0.0 { clean_hours / total_hours } else { 1.0 },
+        jobs_with_gaps,
+        total_jobs: table.len(),
+        gaps: stats.gaps,
+        records_seen: stats.records_seen,
+        samples_quarantined: stats.samples_quarantined,
+        bytes_quarantined: stats.bytes_quarantined,
+        files_rejected: stats.parse_errors,
+    }
+}
+
+impl CoverageReport {
+    /// True when the archive behind this resource was fully intact.
+    pub fn is_complete(&self) -> bool {
+        self.samples_quarantined == 0
+            && self.gaps == 0
+            && self.files_rejected == 0
+            && self.jobs_with_gaps == 0
+    }
+
+    /// Plain-text rendering for operator consoles.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("coverage report: {}\n", self.resource));
+        out.push_str(&format!(
+            "  node-bin coverage        {:6.2}%\n",
+            self.series_coverage * 100.0
+        ));
+        out.push_str(&format!(
+            "  clean job node-hours     {:6.2}%\n",
+            self.clean_node_hours_fraction * 100.0
+        ));
+        out.push_str(&format!(
+            "  jobs with gaps           {:>6} / {}\n",
+            self.jobs_with_gaps, self.total_jobs
+        ));
+        out.push_str(&format!("  corrupt regions          {:>6}\n", self.gaps));
+        out.push_str(&format!(
+            "  records quarantined      {:>6} / {}\n",
+            self.samples_quarantined, self.records_seen
+        ));
+        out.push_str(&format!("  bytes quarantined        {:>6}\n", self.bytes_quarantined));
+        out.push_str(&format!("  files rejected           {:>6}\n", self.files_rejected));
+        out
+    }
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+    use supremm_metrics::metric::KeyMetricVec;
+    use supremm_metrics::{JobId, ScienceField, Timestamp};
+    use supremm_warehouse::record::{ExitKind, JobRecord};
+    use supremm_warehouse::{IngestStats, SystemBin};
+
+    fn job(id: u64, hours: u64, nodes: u32, gaps: u32) -> JobRecord {
+        JobRecord {
+            job: JobId(id),
+            user: UserId(1),
+            app: None,
+            science: ScienceField::Physics,
+            queue: "normal".into(),
+            submit: Timestamp(0),
+            start: Timestamp(0),
+            end: Timestamp(hours * 3600),
+            nodes,
+            exit: ExitKind::Completed,
+            metrics: KeyMetricVec::default(),
+            extended: [0.0; ExtendedMetric::ALL.len()],
+            flops_valid: true,
+            samples: 4,
+            coverage_gaps: gaps,
+        }
+    }
+
+    fn series() -> SystemSeries {
+        // Three bins over a 3-bin span; 2+1+2 = 5 of 6 node-bins seen.
+        let mut bins = Vec::new();
+        for (i, active) in [(0u64, 2u32), (1, 1), (2, 2)] {
+            bins.push(SystemBin {
+                ts: Timestamp(i * 600),
+                active_nodes: active,
+                ..SystemBin::default()
+            });
+        }
+        SystemSeries { bin_secs: 600, bins }
+    }
+
+    #[test]
+    fn clean_run_is_complete() {
+        let table = JobTable::new(vec![job(1, 10, 2, 0), job(2, 5, 1, 0)]);
+        let r = coverage_report("ranger", &table, &series(), &IngestStats::default(), 2);
+        assert!(r.is_complete());
+        assert!((r.clean_node_hours_fraction - 1.0).abs() < 1e-12);
+        assert!((r.series_coverage - 5.0 / 6.0).abs() < 1e-12);
+        assert!(r.to_table().contains("ranger"));
+    }
+
+    #[test]
+    fn gaps_show_up_in_node_hour_fraction() {
+        // 20 clean node-hours vs 5 gap-backed ones.
+        let table = JobTable::new(vec![job(1, 10, 2, 0), job(2, 5, 1, 3)]);
+        let stats = IngestStats {
+            records_seen: 40,
+            records: 37,
+            samples_quarantined: 3,
+            bytes_quarantined: 512,
+            gaps: 3,
+            parse_errors: 1,
+            ..IngestStats::default()
+        };
+        let r = coverage_report("lonestar4", &table, &series(), &stats, 2);
+        assert!(!r.is_complete());
+        assert_eq!(r.jobs_with_gaps, 1);
+        assert_eq!(r.total_jobs, 2);
+        assert!((r.clean_node_hours_fraction - 20.0 / 25.0).abs() < 1e-12);
+        assert_eq!(r.gaps, 3);
+        assert_eq!(r.files_rejected, 1);
+        assert!(stats.conservation_holds());
+    }
+
+    #[test]
+    fn empty_table_reports_full_clean_fraction() {
+        let r = coverage_report(
+            "stampede",
+            &JobTable::default(),
+            &SystemSeries { bin_secs: 600, bins: Vec::new() },
+            &IngestStats::default(),
+            4,
+        );
+        assert!((r.clean_node_hours_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(r.series_coverage, 0.0);
     }
 }

@@ -196,6 +196,7 @@ mod tests {
                 extended: [0.0; ExtendedMetric::ALL.len()],
                 flops_valid: true,
                 samples: 5,
+                coverage_gaps: 0,
             }
         };
         JobTable::new(vec![job(1, "NAMD", 0.1), job(2, "AMBER", 0.4), job(3, "NAMD", 0.2)])
