@@ -6,12 +6,19 @@
 //!
 //! ```text
 //! repro [--nodes N] [--days D] [--only <substring>] [--seed S] [--bench-json]
-//!       [--fault-rate R] [--fault-seed S]
+//!       [--store-dir DIR] [--fault-rate R] [--fault-seed S]
 //! ```
 //!
 //! `--bench-json` additionally writes `BENCH_pipeline.json` with the
 //! end-to-end pipeline timings (wall seconds, raw MB, MB/s, peak-RSS
-//! proxy) so runs can be compared across revisions.
+//! proxy) and `BENCH_tsdb.json` with the storage-engine numbers
+//! (compression ratio vs. the raw binfmt encoding, encode and scan
+//! throughput) so runs can be compared across revisions.
+//!
+//! `--store-dir DIR` flushes each machine's products through the `tsdb`
+//! storage engine rooted at `DIR/<machine>` (series store + segment job
+//! table) and reads them back, so every downstream figure is produced
+//! from the on-disk store.
 //!
 //! `--fault-rate R` (0.0–1.0) injects seeded collector faults — lost and
 //! truncated files, torn lines, duplicated ticks, clock skew — into the
@@ -33,6 +40,7 @@ struct Args {
     only: Option<String>,
     seed: Option<u64>,
     bench_json: bool,
+    store_dir: Option<std::path::PathBuf>,
     fault_rate: f64,
     fault_seed: u64,
 }
@@ -44,6 +52,7 @@ fn parse_args() -> Args {
         only: None,
         seed: None,
         bench_json: false,
+        store_dir: None,
         fault_rate: 0.0,
         fault_seed: 0x5eed,
     };
@@ -65,6 +74,13 @@ fn parse_args() -> Args {
             "--only" => args.only = it.next(),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()),
             "--bench-json" => args.bench_json = true,
+            "--store-dir" => {
+                args.store_dir = it.next().map(std::path::PathBuf::from);
+                if args.store_dir.is_none() {
+                    eprintln!("--store-dir needs a directory");
+                    std::process::exit(2);
+                }
+            }
             "--fault-rate" => {
                 args.fault_rate = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--fault-rate needs a number in 0.0..=1.0");
@@ -80,7 +96,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--nodes N] [--days D] [--only <substring>] [--seed S] \
-                     [--bench-json] [--fault-rate R] [--fault-seed S]"
+                     [--bench-json] [--store-dir DIR] [--fault-rate R] [--fault-seed S]"
                 );
                 std::process::exit(0);
             }
@@ -103,7 +119,12 @@ struct BenchTiming {
     raw_mb: f64,
 }
 
-fn build(cfg: ClusterConfig, label: &str, fault_plan: Option<FaultPlan>) -> (MachineDataset, BenchTiming) {
+fn build(
+    cfg: ClusterConfig,
+    label: &str,
+    fault_plan: Option<FaultPlan>,
+    store_dir: Option<std::path::PathBuf>,
+) -> (MachineDataset, BenchTiming) {
     eprintln!(
         "[repro] simulating {label}: {} nodes x {} days ...",
         cfg.node_count, cfg.sim_days
@@ -112,7 +133,7 @@ fn build(cfg: ClusterConfig, label: &str, fault_plan: Option<FaultPlan>) -> (Mac
     let t0 = std::time::Instant::now();
     let ds = run_pipeline(
         cfg,
-        &PipelineOptions { keep_archive: true, fault_plan, ..Default::default() },
+        &PipelineOptions { keep_archive: true, fault_plan, store_dir, ..Default::default() },
     );
     let wall_secs = t0.elapsed().as_secs_f64();
     let raw_mb = ds.raw_total_bytes as f64 / (1024.0 * 1024.0);
@@ -162,6 +183,76 @@ fn write_bench_json(timings: &[BenchTiming]) -> std::io::Result<()> {
     std::fs::write("BENCH_pipeline.json", s)
 }
 
+/// Storage-engine benchmark: push each machine's per-host metric series
+/// and system series through a fresh `tsdb` store, then report the
+/// on-disk footprint against the raw binfmt encoding of the same
+/// archive, plus encode and full-scan throughput.
+fn write_tsdb_bench(
+    sets: &[(&str, &MachineDataset)],
+    root: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    use supremm_taccstats::format::parse;
+    use supremm_warehouse::binfmt;
+    use supremm_warehouse::tsdb::{Selector, Tsdb};
+    use supremm_warehouse::tsdbio;
+
+    let io_err = |e: supremm_warehouse::tsdb::TsdbError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    };
+    let mut s = String::from("{\n  \"stores\": [\n");
+    for (i, (label, ds)) in sets.iter().enumerate() {
+        let dir = root.join(label).join("metrics");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)?;
+        let mut db = Tsdb::open(&dir).map_err(io_err)?;
+
+        let t0 = std::time::Instant::now();
+        let samples = tsdbio::store_archive_series(&mut db, &ds.archive)?;
+        tsdbio::store_system_series(&mut db, &ds.series)?;
+        db.flush().map_err(io_err)?;
+        let encode_secs = t0.elapsed().as_secs_f64();
+
+        let tsdb_bytes = db.disk_bytes();
+        let binfmt_bytes: u64 = ds
+            .archive
+            .iter()
+            .filter_map(|(_, text)| parse(text).ok())
+            .map(|p| binfmt::encode(&p).len() as u64)
+            .sum();
+        let ratio = binfmt_bytes as f64 / tsdb_bytes.max(1) as f64;
+
+        let t1 = std::time::Instant::now();
+        let mut scanned = 0u64;
+        for (_, pts) in db.query(&Selector::all(), 0, u64::MAX).map_err(io_err)? {
+            scanned += pts.len() as u64;
+        }
+        let scan_secs = t1.elapsed().as_secs_f64();
+
+        eprintln!(
+            "[repro] {label} tsdb store: {} samples, {:.2} MB on disk \
+             ({:.1}x smaller than binfmt), encode {:.0} samples/s, scan {:.0} samples/s",
+            samples,
+            tsdb_bytes as f64 / (1024.0 * 1024.0),
+            ratio,
+            samples as f64 / encode_secs.max(1e-9),
+            scanned as f64 / scan_secs.max(1e-9),
+        );
+        let _ = write!(
+            s,
+            "    {{\"label\": \"{label}\", \"samples\": {samples}, \
+             \"tsdb_bytes\": {tsdb_bytes}, \"binfmt_bytes\": {binfmt_bytes}, \
+             \"compression_vs_binfmt\": {ratio:.3}, \
+             \"encode_samples_per_s\": {:.0}, \"scan_samples_per_s\": {:.0}}}",
+            samples as f64 / encode_secs.max(1e-9),
+            scanned as f64 / scan_secs.max(1e-9),
+        );
+        s.push_str(if i + 1 < sets.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_tsdb.json", s)
+}
+
 fn main() {
     let args = parse_args();
     let mut ranger_cfg = ClusterConfig::ranger().scaled(args.nodes, args.days);
@@ -173,8 +264,9 @@ fn main() {
     }
     let fault_plan = (args.fault_rate > 0.0)
         .then(|| FaultPlan::with_rate(args.fault_seed, args.fault_rate));
-    let (ranger, ranger_timing) = build(ranger_cfg, "ranger", fault_plan);
-    let (ls4, ls4_timing) = build(ls4_cfg, "lonestar4", fault_plan);
+    let store_of = |label: &str| args.store_dir.as_ref().map(|d| d.join(label));
+    let (ranger, ranger_timing) = build(ranger_cfg, "ranger", fault_plan, store_of("ranger"));
+    let (ls4, ls4_timing) = build(ls4_cfg, "lonestar4", fault_plan, store_of("lonestar4"));
     if fault_plan.is_some() {
         for ds in [&ranger, &ls4] {
             let label = &ds.cfg.name;
@@ -205,6 +297,14 @@ fn main() {
         match write_bench_json(&[ranger_timing, ls4_timing]) {
             Ok(()) => eprintln!("[repro] wrote BENCH_pipeline.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_pipeline.json: {e}"),
+        }
+        let bench_root = args
+            .store_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("repro-tsdb-bench"));
+        match write_tsdb_bench(&[("ranger", &ranger), ("lonestar4", &ls4)], &bench_root) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_tsdb.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_tsdb.json: {e}"),
         }
     }
 

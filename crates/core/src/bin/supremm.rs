@@ -4,21 +4,26 @@
 //! supremm simulate --machine ranger --nodes 24 --days 3 --out data/
 //!     run the simulated machine and dump every artifact: raw TACC_Stats
 //!     files (raw/<day>/<host>), accounting.log, lariat.jsonl,
-//!     syslog.jsonl and the ingested warehouse (jobs.jsonl)
+//!     syslog.jsonl, the ingested warehouse (jobs.tsdb, segment format)
+//!     and the compressed time-series store (store/series/)
 //!
 //! supremm ingest --data data/
 //!     re-ingest raw/ + accounting.log + lariat.jsonl from a dump and
-//!     rewrite jobs.jsonl (what a site cron job would do nightly)
+//!     rewrite jobs.tsdb (what a site cron job would do nightly)
 //!
 //! supremm report --data data/ --kind top-apps|top-users|efficiency|science
-//!     run a canned XDMoD-style report over jobs.jsonl
+//!     run a canned XDMoD-style report over the job table
 //!
 //! supremm diagnose --data data/
-//!     the ANCOR-style failure diagnosis over jobs.jsonl + syslog.jsonl
+//!     the ANCOR-style failure diagnosis over the job table + syslog.jsonl
 //!
 //! supremm serve --data data/ --addr 127.0.0.1:8080
-//!     serve the JSON query API (GET /healthz, /v1/summary, /v1/query)
+//!     serve the JSON query API (GET /healthz, /v1/summary, /v1/query,
+//!     and /v1/series from the time-series store when present)
 //! ```
+//!
+//! The job table reads both the segment format and the legacy
+//! `jobs.jsonl` JSON-lines export (one-release compatibility shim).
 
 use std::path::{Path, PathBuf};
 
@@ -84,9 +89,10 @@ fn simulate(args: &[String]) {
     .scaled(nodes, days);
 
     eprintln!("simulating {machine}: {nodes} nodes x {days} days ...");
-    let ds = run_pipeline(cfg, &PipelineOptions::default());
-
     std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("mkdir {out:?}: {e}")));
+    let opts = PipelineOptions { store_dir: Some(out.join("store")), ..Default::default() };
+    let ds = run_pipeline(cfg, &opts);
+
     ds.archive
         .write_to_dir(&out.join("raw"))
         .unwrap_or_else(|e| die(&format!("writing raw archive: {e}")));
@@ -94,13 +100,9 @@ fn simulate(args: &[String]) {
     std::fs::write(out.join("accounting.log"), accounting).unwrap();
     let lariat: String = ds.lariat.iter().map(|l| l.to_json() + "\n").collect();
     std::fs::write(out.join("lariat.jsonl"), lariat).unwrap();
-    let syslog: String = ds
-        .syslog
-        .iter()
-        .map(|r| serde_json::to_string(r).expect("serialises") + "\n")
-        .collect();
+    let syslog: String = ds.syslog.iter().map(|r| r.to_json() + "\n").collect();
     std::fs::write(out.join("syslog.jsonl"), syslog).unwrap();
-    ds.table.save(&out.join("jobs.jsonl")).unwrap();
+    ds.table.save(&out.join("jobs.tsdb")).unwrap();
 
     println!(
         "wrote {:?}: {} raw files ({:.1} MB), {} accounting records, {} jobs ingested",
@@ -126,7 +128,7 @@ fn reingest(args: &[String]) {
     );
     let (records, stats) = ingest(&archive, &accounting, &lariat);
     let table = JobTable::new(records);
-    table.save(&dir.join("jobs.jsonl")).unwrap();
+    table.save(&dir.join("jobs.tsdb")).unwrap();
     println!(
         "ingested {} jobs from {} files ({} intervals, {} parse errors)",
         table.len(),
@@ -137,8 +139,15 @@ fn reingest(args: &[String]) {
 }
 
 fn load_jobs(dir: &Path) -> JobTable {
-    JobTable::load(&dir.join("jobs.jsonl"))
-        .unwrap_or_else(|e| die(&format!("jobs.jsonl: {e} (run `supremm simulate` or `ingest` first)")))
+    // Prefer the segment-format table; fall back to a legacy JSON-lines
+    // dump from an older release (load sniffs the format either way).
+    let path = [dir.join("jobs.tsdb"), dir.join("jobs.jsonl")]
+        .into_iter()
+        .find(|p| p.exists())
+        .unwrap_or_else(|| dir.join("jobs.tsdb"));
+    JobTable::load(&path).unwrap_or_else(|e| {
+        die(&format!("{path:?}: {e} (run `supremm simulate` or `ingest` first)"))
+    })
 }
 
 fn report(args: &[String]) {
@@ -238,11 +247,25 @@ fn serve_cmd(args: &[String]) {
     let dir = data_dir(args);
     let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
     let table = load_jobs(&dir);
+    // Attach the time-series store when the dump has one.
+    let store_dir = dir.join("store").join("series");
+    let store = if store_dir.is_dir() {
+        Some(
+            supremm_warehouse::tsdb::Tsdb::open(&store_dir)
+                .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}"))),
+        )
+    } else {
+        None
+    };
     let listener = std::net::TcpListener::bind(&addr)
         .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
-    println!("serving {} jobs on http://{addr} (ctrl-c to stop)", table.len());
+    println!(
+        "serving {} jobs{} on http://{addr} (ctrl-c to stop)",
+        table.len(),
+        if store.is_some() { " + time-series store" } else { "" }
+    );
     let shutdown = std::sync::atomic::AtomicBool::new(false);
-    supremm_xdmod::serve::serve(&table, listener, &shutdown)
+    supremm_xdmod::serve::serve_with_store(&table, store.as_ref(), listener, &shutdown)
         .unwrap_or_else(|e| die(&format!("serve: {e}")));
 }
 
@@ -252,7 +275,7 @@ fn diagnose_cmd(args: &[String]) {
     let syslog: Vec<RatRecord> = std::fs::read_to_string(dir.join("syslog.jsonl"))
         .unwrap_or_else(|e| die(&format!("syslog.jsonl: {e}")))
         .lines()
-        .filter_map(|l| serde_json::from_str(l).ok())
+        .filter_map(RatRecord::from_json)
         .collect();
     // Capacity inferred from the larger preset if unknown; good enough
     // for the corroboration heuristic.

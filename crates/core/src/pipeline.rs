@@ -67,6 +67,13 @@ pub struct PipelineOptions {
     /// Whole-file rejection on the first malformed line (the PR 1
     /// ingest behaviour) instead of record-level quarantine.
     pub strict_ingest: bool,
+    /// Flush the run's products through the `tsdb` storage engine rooted
+    /// here and read them back, making the on-disk store the source of
+    /// truth for everything downstream (reports, serving): the system
+    /// series lands in `<dir>/series` (WAL + compressed segments), the
+    /// job table in `<dir>/jobs.tsdb`. `None` keeps everything in
+    /// memory. Both paths produce bit-identical output.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -78,6 +85,7 @@ impl Default for PipelineOptions {
             ingest_workers: None,
             fault_plan: None,
             strict_ingest: false,
+            store_dir: None,
         }
     }
 }
@@ -297,6 +305,29 @@ fn faulted<'a>(
     }
 }
 
+/// Persist the run's products through the storage engine and read them
+/// back, so downstream consumers exercise exactly what a restarted
+/// process would see. The engine's compressed segment format replaces
+/// the old JSON-lines job export here.
+fn store_and_reload(
+    dir: &std::path::Path,
+    table: JobTable,
+    series: SystemSeries,
+) -> (JobTable, SystemSeries) {
+    use supremm_warehouse::tsdb::Tsdb;
+    use supremm_warehouse::tsdbio;
+
+    std::fs::create_dir_all(dir).expect("create store dir");
+    let mut db = Tsdb::open(&dir.join("series")).expect("open tsdb store");
+    tsdbio::store_system_series(&mut db, &series).expect("append system series");
+    db.flush().expect("flush tsdb store");
+    let series = tsdbio::load_system_series(&db).expect("reload system series");
+    let jobs = dir.join("jobs.tsdb");
+    table.save(&jobs).expect("save job table");
+    let table = JobTable::load(&jobs).expect("reload job table");
+    (table, series)
+}
+
 fn ingest_worker_count(opts: &PipelineOptions) -> usize {
     opts.ingest_workers.unwrap_or_else(|| {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
@@ -333,14 +364,21 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
     let raw_mean = acc.mean_bytes_per_file();
     let out = acc.finish(&streams.accounting, &streams.lariat);
 
+    let table = JobTable::new(out.records);
+    let series = out.series.expect("pipeline always bins");
+    let (table, series) = match &opts.store_dir {
+        None => (table, series),
+        Some(dir) => store_and_reload(dir, table, series),
+    };
+
     MachineDataset {
         cfg,
         archive: if opts.keep_archive { archive } else { RawArchive::new() },
         raw_total_bytes,
         raw_mean_bytes_per_node_day: raw_mean,
-        table: JobTable::new(out.records),
+        table,
         ingest_stats: out.stats,
-        series: out.series.expect("pipeline always bins"),
+        series,
         accounting: streams.accounting,
         lariat: streams.lariat,
         syslog: streams.syslog,
@@ -551,6 +589,46 @@ mod tests {
         assert_eq!(lean.raw_total_bytes, full.raw_total_bytes);
         assert_eq!(lean.series.bins, full.series.bins);
         assert_eq!(lean.table.len(), full.table.len());
+    }
+
+    /// The store-backed pipeline (flush through tsdb, read back) must be
+    /// bit-identical to the in-memory path: same series bins, same job
+    /// aggregates.
+    #[test]
+    fn store_backed_pipeline_matches_in_memory_exactly() {
+        let cfg = || ClusterConfig::ranger().scaled(8, 2);
+        let dir = std::env::temp_dir()
+            .join(format!("pipeline-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mem = run_pipeline(
+            cfg(),
+            &PipelineOptions { keep_archive: false, ..Default::default() },
+        );
+        let stored = run_pipeline(
+            cfg(),
+            &PipelineOptions {
+                keep_archive: false,
+                store_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(stored.series.bins, mem.series.bins, "series through the store");
+        assert_eq!(stored.table.len(), mem.table.len());
+        assert_eq!(
+            stored.table.total_node_hours().to_bits(),
+            mem.table.total_node_hours().to_bits(),
+            "job aggregates must be bit-identical through the store"
+        );
+        // The store outlives the process: a fresh open sees the same data.
+        let db = supremm_warehouse::tsdb::Tsdb::open(&dir.join("series")).unwrap();
+        let series = supremm_warehouse::tsdbio::load_system_series(&db).unwrap();
+        assert_eq!(series.bins, mem.series.bins);
+        let table = JobTable::load(&dir.join("jobs.tsdb")).unwrap();
+        assert_eq!(
+            table.total_node_hours().to_bits(),
+            mem.table.total_node_hours().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

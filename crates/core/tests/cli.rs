@@ -34,19 +34,21 @@ fn full_cli_round_trip() {
     ]);
     assert!(ok, "simulate failed: {stderr}");
     assert!(stdout.contains("raw files"), "{stdout}");
-    for artifact in ["accounting.log", "lariat.jsonl", "syslog.jsonl", "jobs.jsonl"] {
+    for artifact in ["accounting.log", "lariat.jsonl", "syslog.jsonl", "jobs.tsdb"] {
         assert!(dir.join(artifact).exists(), "{artifact} missing");
     }
     assert!(dir.join("raw").is_dir());
+    // The simulate dump also carries the compressed time-series store.
+    assert!(dir.join("store").join("series").is_dir(), "store/series missing");
 
-    // jobs.jsonl before re-ingest
-    let before = std::fs::read_to_string(dir.join("jobs.jsonl")).unwrap();
+    // job table (segment format) before re-ingest
+    let before = std::fs::read(dir.join("jobs.tsdb")).unwrap();
 
     // ingest (rebuild the warehouse from the dump)
     let (stdout, stderr, ok) = run(&["ingest", "--data", dir_s]);
     assert!(ok, "ingest failed: {stderr}");
     assert!(stdout.contains("ingested"), "{stdout}");
-    let after = std::fs::read_to_string(dir.join("jobs.jsonl")).unwrap();
+    let after = std::fs::read(dir.join("jobs.tsdb")).unwrap();
     assert_eq!(before, after, "re-ingest must reproduce the warehouse exactly");
 
     // reports
@@ -77,7 +79,7 @@ fn cli_errors_are_clean() {
 
     let (_, stderr, ok) = run(&["report", "--data", "/nonexistent-supremm-dir"]);
     assert!(!ok);
-    assert!(stderr.contains("jobs.jsonl"), "{stderr}");
+    assert!(stderr.contains("jobs.tsdb"), "{stderr}");
 
     let (stdout, _, ok) = run(&["--help"]);
     assert!(ok);

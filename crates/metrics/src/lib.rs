@@ -10,6 +10,7 @@
 //! workspace dependency graph.
 
 pub mod ids;
+pub mod json;
 pub mod metric;
 pub mod schema;
 pub mod time;

@@ -7,6 +7,7 @@
 //! executable-less job script name).
 
 use serde::{Deserialize, Serialize};
+use supremm_metrics::json::{self, Value};
 use supremm_metrics::{JobId, UserId};
 
 /// One Lariat summary record.
@@ -78,11 +79,36 @@ impl LariatRecord {
     /// Serialise as one JSON line (the real Lariat appends JSON objects
     /// to a shared log).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("plain data serialises")
+        json::obj([
+            ("job", self.job.0.into()),
+            ("user", self.user.0.into()),
+            ("exe", self.exe.as_str().into()),
+            ("app_name", self.app_name.as_str().into()),
+            ("nodes", self.nodes.into()),
+            ("threads_per_rank", self.threads_per_rank.into()),
+            (
+                "libraries",
+                Value::Array(self.libraries.iter().map(|l| l.as_str().into()).collect()),
+            ),
+        ])
+        .to_string()
     }
 
     pub fn from_json(s: &str) -> Option<LariatRecord> {
-        serde_json::from_str(s).ok()
+        let v = Value::parse(s)?;
+        Some(LariatRecord {
+            job: JobId(v["job"].as_u64()?),
+            user: UserId(v["user"].as_u64()? as u32),
+            exe: v["exe"].as_str()?.to_string(),
+            app_name: v["app_name"].as_str()?.to_string(),
+            nodes: v["nodes"].as_u64()? as u32,
+            threads_per_rank: v["threads_per_rank"].as_u64()? as u32,
+            libraries: v["libraries"]
+                .as_array()?
+                .iter()
+                .map(|l| l.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        })
     }
 }
 

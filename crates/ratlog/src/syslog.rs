@@ -12,6 +12,7 @@
 //!    that applies the parsers plus a host→job mapping.
 
 use serde::{Deserialize, Serialize};
+use supremm_metrics::json::{self, Value};
 use supremm_metrics::{HostId, JobId, Timestamp};
 
 /// Syslog-style severity.
@@ -70,6 +71,51 @@ impl EventCode {
             EventCode::Generic => "generic",
         }
     }
+
+    /// Inverse of [`EventCode::name`].
+    pub fn from_name(s: &str) -> Option<EventCode> {
+        use EventCode::*;
+        let all = [
+            OomKill,
+            SoftLockup,
+            LustreError,
+            LustreEviction,
+            MceError,
+            EccCorrected,
+            FsError,
+            NfsTimeout,
+            IbLinkFlap,
+            WallclockExceeded,
+            AuthFailure,
+            NodeDown,
+            NodeUp,
+            JobStart,
+            JobEnd,
+            Generic,
+        ];
+        all.into_iter().find(|e| e.name() == s)
+    }
+}
+
+impl Severity {
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::Critical => "critical",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Severity> {
+        Some(match s {
+            "info" => Severity::Info,
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            "critical" => Severity::Critical,
+            _ => return None,
+        })
+    }
 }
 
 /// One rationalized record: uniform format, job-tagged.
@@ -99,6 +145,36 @@ impl RatRecord {
             self.component,
             self.message
         )
+    }
+
+    /// Serialise as one JSON object (the `syslog.jsonl` export format).
+    pub fn to_json(&self) -> String {
+        json::obj([
+            ("ts", self.ts.0.into()),
+            ("host", self.host.0.into()),
+            ("job", self.job.map(|j| j.0).into()),
+            ("severity", self.severity.name().into()),
+            ("event", self.event.name().into()),
+            ("component", self.component.as_str().into()),
+            ("message", self.message.as_str().into()),
+        ])
+        .to_string()
+    }
+
+    pub fn from_json(s: &str) -> Option<RatRecord> {
+        let v = Value::parse(s)?;
+        Some(RatRecord {
+            ts: Timestamp(v["ts"].as_u64()?),
+            host: HostId(v["host"].as_u64()? as u32),
+            job: match &v["job"] {
+                Value::Null => None,
+                j => Some(JobId(j.as_u64()?)),
+            },
+            severity: Severity::from_name(v["severity"].as_str()?)?,
+            event: EventCode::from_name(v["event"].as_str()?)?,
+            component: v["component"].as_str()?.to_string(),
+            message: v["message"].as_str()?.to_string(),
+        })
     }
 }
 

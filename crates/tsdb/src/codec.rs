@@ -1,0 +1,432 @@
+//! Per-series chunk compression — the Gorilla paper's tricks adapted to
+//! facility counters.
+//!
+//! A chunk holds one series' samples `(ts, value)` for one time window:
+//!
+//! - **timestamps** are near-regular (the collector ticks every ten
+//!   minutes), so delta-of-delta + zigzag varints make most of them one
+//!   byte (`0`);
+//! - **values** take one of two encodings, chosen per chunk:
+//!   - *int-delta* (tag 1) when every value is an exact integer (node
+//!     counts, interval counts, byte totals): zigzag varints of
+//!     consecutive differences;
+//!   - *XOR* (tag 0) otherwise: each f64's bits are XORed with the
+//!     previous value's; identical values cost one bit, and values with
+//!     a shared exponent/mantissa-window cost only their changed bits.
+//!
+//! Both encodings are bit-lossless: `decode(encode(s)) == s` including
+//! NaN payloads, signed zeros and infinities, because values travel as
+//! raw `u64` bit patterns end to end.
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint, advancing `pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-map a signed delta into an unsigned varint-friendly value.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+// --- bit stream -----------------------------------------------------------
+
+struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte (0..8; 8 means full).
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> BitWriter {
+        BitWriter { buf: Vec::new(), used: 8 }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        if self.used == 8 {
+            self.buf.push(0);
+            self.used = 0;
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+    }
+
+    /// Push the low `n` bits of `v`, most significant first.
+    fn push_bits(&mut self, v: u64, n: u32) {
+        for i in (0..n).rev() {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    used: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> BitReader<'a> {
+        BitReader { buf, pos: 0, used: 0 }
+    }
+
+    fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.buf.get(self.pos)?;
+        let bit = (byte >> (7 - self.used)) & 1 == 1;
+        self.used += 1;
+        if self.used == 8 {
+            self.used = 0;
+            self.pos += 1;
+        }
+        Some(bit)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+// --- value encodings ------------------------------------------------------
+
+const MODE_XOR: u8 = 0;
+const MODE_INT: u8 = 1;
+
+/// True when the f64 behind `bits` is an exact integer that survives a
+/// round trip through i64 (so int-delta encoding is lossless for it).
+fn integral(bits: u64) -> Option<i64> {
+    let v = f64::from_bits(bits);
+    if !v.is_finite() || v.fract() != 0.0 || v.abs() >= 9.0e15 {
+        return None;
+    }
+    let i = v as i64;
+    // Reject -0.0 and anything whose bits don't round-trip exactly.
+    if (i as f64).to_bits() == bits {
+        Some(i)
+    } else {
+        None
+    }
+}
+
+fn encode_values_int(out: &mut Vec<u8>, ints: &[i64]) {
+    let mut prev = 0i64;
+    for &v in ints {
+        put_varint(out, zigzag(v.wrapping_sub(prev)));
+        prev = v;
+    }
+}
+
+fn decode_values_int(buf: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u64>> {
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        let v = prev.wrapping_add(unzigzag(get_varint(buf, pos)?));
+        prev = v;
+        out.push((v as f64).to_bits());
+    }
+    Some(out)
+}
+
+/// Gorilla XOR stream. Control codes per value (after the first, which
+/// is 64 raw bits): `0` = identical to previous; `10` = changed bits fit
+/// the previous leading/length window; `11` = new window (6 bits leading
+/// zeros, 6 bits length-1, then the meaningful bits).
+fn encode_values_xor(out: &mut Vec<u8>, values: &[u64]) {
+    let mut w = BitWriter::new();
+    let mut prev = 0u64;
+    let mut prev_lead = u32::MAX; // "no window yet"
+    let mut prev_len = 0u32;
+    for (i, &bits) in values.iter().enumerate() {
+        if i == 0 {
+            w.push_bits(bits, 64);
+        } else {
+            let xor = prev ^ bits;
+            if xor == 0 {
+                w.push_bit(false);
+            } else {
+                w.push_bit(true);
+                let lead = xor.leading_zeros().min(63);
+                let trail = xor.trailing_zeros();
+                let len = 64 - lead - trail;
+                if prev_lead != u32::MAX && lead >= prev_lead && lead + len <= prev_lead + prev_len
+                {
+                    w.push_bit(false);
+                    w.push_bits(xor >> (64 - prev_lead - prev_len), prev_len);
+                } else {
+                    w.push_bit(true);
+                    w.push_bits(lead as u64, 6);
+                    w.push_bits((len - 1) as u64, 6);
+                    w.push_bits(xor >> trail, len);
+                    prev_lead = lead;
+                    prev_len = len;
+                }
+            }
+        }
+        prev = bits;
+    }
+    let bytes = w.into_bytes();
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(&bytes);
+}
+
+fn decode_values_xor(buf: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u64>> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    let bytes = buf.get(*pos..end)?;
+    *pos = end;
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    let mut prev_lead = 0u32;
+    let mut prev_len = 0u32;
+    for i in 0..n {
+        let bits = if i == 0 {
+            r.read_bits(64)?
+        } else if !r.read_bit()? {
+            prev
+        } else {
+            if r.read_bit()? {
+                prev_lead = r.read_bits(6)? as u32;
+                prev_len = r.read_bits(6)? as u32 + 1;
+            }
+            if prev_len == 0 || prev_lead + prev_len > 64 {
+                return None;
+            }
+            let meaningful = r.read_bits(prev_len)?;
+            prev ^ (meaningful << (64 - prev_lead - prev_len))
+        };
+        out.push(bits);
+        prev = bits;
+    }
+    Some(out)
+}
+
+// --- chunk ----------------------------------------------------------------
+
+/// Encode one series chunk: samples as `(timestamp, f64 bits)`.
+///
+/// Layout: `varint n · u8 mode · ts stream · value stream`. The
+/// timestamp stream is `varint t0 · zigzag varint d0 · zigzag varints of
+/// delta-of-deltas`. Empty input encodes as a single `0`.
+pub fn encode_chunk(samples: &[(u64, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 2 + 16);
+    put_varint(&mut out, samples.len() as u64);
+    if samples.is_empty() {
+        return out;
+    }
+
+    let ints: Option<Vec<i64>> = samples.iter().map(|&(_, bits)| integral(bits)).collect();
+    out.push(if ints.is_some() { MODE_INT } else { MODE_XOR });
+
+    // Timestamps: delta-of-delta.
+    put_varint(&mut out, samples[0].0);
+    if samples.len() >= 2 {
+        let d0 = samples[1].0.wrapping_sub(samples[0].0) as i64;
+        put_varint(&mut out, zigzag(d0));
+        let mut prev_delta = d0;
+        for w in samples.windows(2).skip(1) {
+            let d = w[1].0.wrapping_sub(w[0].0) as i64;
+            put_varint(&mut out, zigzag(d.wrapping_sub(prev_delta)));
+            prev_delta = d;
+        }
+    }
+
+    match ints {
+        Some(ints) => encode_values_int(&mut out, &ints),
+        None => {
+            let values: Vec<u64> = samples.iter().map(|&(_, bits)| bits).collect();
+            encode_values_xor(&mut out, &values);
+        }
+    }
+    out
+}
+
+/// Decode a chunk produced by [`encode_chunk`]; `None` on any corruption.
+pub fn decode_chunk(buf: &[u8]) -> Option<Vec<(u64, u64)>> {
+    let mut pos = 0usize;
+    let samples = decode_chunk_at(buf, &mut pos)?;
+    if pos == buf.len() {
+        Some(samples)
+    } else {
+        None
+    }
+}
+
+/// Decode a chunk starting at `pos` (for streams of concatenated
+/// chunks); advances `pos` past it.
+pub fn decode_chunk_at(buf: &[u8], pos: &mut usize) -> Option<Vec<(u64, u64)>> {
+    let n = get_varint(buf, pos)? as usize;
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Each sample costs ≥ 1 byte of timestamp stream; cap pathological
+    // claimed lengths before allocating.
+    if n > buf.len().saturating_sub(*pos).saturating_mul(64) {
+        return None;
+    }
+    let &mode = buf.get(*pos)?;
+    *pos += 1;
+
+    let mut ts = Vec::with_capacity(n);
+    ts.push(get_varint(buf, pos)?);
+    if n >= 2 {
+        let mut delta = unzigzag(get_varint(buf, pos)?);
+        ts.push(ts[0].wrapping_add(delta as u64));
+        for i in 2..n {
+            delta = delta.wrapping_add(unzigzag(get_varint(buf, pos)?));
+            ts.push(ts[i - 1].wrapping_add(delta as u64));
+        }
+    }
+
+    let values = match mode {
+        MODE_INT => decode_values_int(buf, pos, n)?,
+        MODE_XOR => decode_values_xor(buf, pos, n)?,
+        _ => return None,
+    };
+    Some(ts.into_iter().zip(values).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(samples: &[(u64, u64)]) {
+        let enc = encode_chunk(samples);
+        let dec = decode_chunk(&enc).expect("decodes");
+        assert_eq!(dec, samples, "chunk round trip");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        round_trip(&[]);
+        round_trip(&[(0, 0)]);
+        round_trip(&[(600, 3.25f64.to_bits())]);
+    }
+
+    #[test]
+    fn regular_timestamps_compress_to_about_a_byte_each() {
+        let samples: Vec<(u64, u64)> =
+            (0..1000).map(|i| (600 + i * 600, 42.5f64.to_bits())).collect();
+        let enc = encode_chunk(&samples);
+        // 1000 samples: ~2 bytes of DoD stream + ~1 bit of XOR each.
+        assert!(enc.len() < 1300, "{} bytes for 1000 samples", enc.len());
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn integer_series_use_delta_mode() {
+        let counts: Vec<(u64, u64)> =
+            (0..500).map(|i| (i * 600, ((i % 48) as f64).to_bits())).collect();
+        let enc = encode_chunk(&counts);
+        assert_eq!(enc[1 + varint_len(500)], super::MODE_INT);
+        assert!(enc.len() < 1600, "{} bytes", enc.len());
+        round_trip(&counts);
+    }
+
+    fn varint_len(v: u64) -> usize {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        buf.len() - 1
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let specials = [
+            0.0f64.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            f64::NAN.to_bits(),
+            0x7FF8_0000_DEAD_BEEF, // NaN with payload
+            f64::MIN_POSITIVE.to_bits(),
+            f64::MAX.to_bits(),
+        ];
+        let samples: Vec<(u64, u64)> =
+            specials.iter().enumerate().map(|(i, &b)| (i as u64 * 7, b)).collect();
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_timestamps_still_round_trip() {
+        round_trip(&[(100, 1u64), (50, 2), (50, 3), (u64::MAX, 4), (0, 5)]);
+    }
+
+    #[test]
+    fn truncated_chunks_decode_to_none_never_panic() {
+        let samples: Vec<(u64, u64)> =
+            (0..64).map(|i| (i * 600, (i as f64 * 0.37).to_bits())).collect();
+        let enc = encode_chunk(&samples);
+        for cut in 0..enc.len() {
+            assert!(decode_chunk(&enc[..cut]).is_none(), "cut at {cut} must not decode");
+        }
+        // Flipping any byte must never panic (may or may not decode).
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x55;
+            let _ = decode_chunk(&bad);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut enc = encode_chunk(&[(600, 1.0f64.to_bits())]);
+        enc.push(0x00);
+        assert!(decode_chunk(&enc).is_none());
+    }
+
+    #[test]
+    fn xor_identical_values_cost_one_bit() {
+        let samples: Vec<(u64, u64)> =
+            (0..800).map(|i| (i * 600, 0.123456789f64.to_bits())).collect();
+        let enc = encode_chunk(&samples);
+        // ~800 DoD bytes? No: regular spacing → 1 byte each after the
+        // first two; values → 8 bytes + ~100 bytes of zero bits.
+        assert!(enc.len() < 1100, "{} bytes", enc.len());
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The storage engine: WAL-fronted memtable over immutable segments.
+//!
+//! Write path: `append*` buffers samples in the memtable **and** frames
+//! them into the WAL; [`Tsdb::sync`] makes them durable (the ack point);
+//! [`Tsdb::flush`] seals the memtable into a new immutable segment and
+//! resets the WAL. [`Tsdb::compact`] merges all sealed segments into
+//! one.
+//!
+//! Read path: a query merges segments oldest-first, then the memtable on
+//! top — later writes win per `(series, timestamp)`. That makes
+//! compaction and crash-leftover segments (a compacted segment sealed
+//! but its inputs not yet deleted) both idempotent: re-merging identical
+//! samples changes nothing.
+//!
+//! Crash recovery = [`Tsdb::open`]: scan `seg-*.tsdb` (ignoring
+//! `*.tmp` leftovers), open the WAL (which truncates any torn tail), and
+//! replay surviving WAL records into the memtable.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::segment::{
+    SegmentReader, SegmentWriter, TsdbError, KIND_SERIES,
+};
+use crate::wal::{Wal, WalRecord};
+
+/// Identity of one series: a (host, metric) pair.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    pub host: String,
+    pub metric: String,
+}
+
+impl SeriesKey {
+    pub fn new(host: impl Into<String>, metric: impl Into<String>) -> SeriesKey {
+        SeriesKey { host: host.into(), metric: metric.into() }
+    }
+}
+
+/// Predicate over series: `None` matches everything.
+#[derive(Debug, Clone, Default)]
+pub struct Selector {
+    pub host: Option<String>,
+    pub metric: Option<String>,
+}
+
+impl Selector {
+    pub fn all() -> Selector {
+        Selector::default()
+    }
+
+    pub fn host(host: impl Into<String>) -> Selector {
+        Selector { host: Some(host.into()), metric: None }
+    }
+
+    pub fn metric(metric: impl Into<String>) -> Selector {
+        Selector { host: None, metric: Some(metric.into()) }
+    }
+
+    pub fn matches(&self, key: &SeriesKey) -> bool {
+        self.host.as_deref().map_or(true, |h| h == key.host)
+            && self.metric.as_deref().map_or(true, |m| m == key.metric)
+    }
+}
+
+/// Downsampling aggregate for [`Tsdb::downsample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    Mean,
+    Sum,
+    Min,
+    Max,
+    /// Last sample in the bin (by timestamp).
+    Last,
+    /// Number of samples in the bin.
+    Count,
+}
+
+impl Agg {
+    fn fold(self, samples: &[(u64, f64)]) -> f64 {
+        match self {
+            Agg::Mean => samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64,
+            Agg::Sum => samples.iter().map(|&(_, v)| v).sum(),
+            Agg::Min => samples.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min),
+            Agg::Max => samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max),
+            Agg::Last => samples.last().map(|&(_, v)| v).unwrap_or(f64::NAN),
+            Agg::Count => samples.len() as f64,
+        }
+    }
+}
+
+/// Tuning knobs; the defaults suit the warehouse's ten-minute samples.
+#[derive(Debug, Clone)]
+pub struct DbOptions {
+    /// Max samples per compressed chunk at flush time.
+    pub chunk_samples: usize,
+    /// Max chunks per segment block (one CRC + index entry per block).
+    pub block_chunks: usize,
+}
+
+impl Default for DbOptions {
+    fn default() -> DbOptions {
+        DbOptions { chunk_samples: 2048, block_chunks: 64 }
+    }
+}
+
+/// Point-in-time store statistics (what `repro` reports in the bench).
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    pub segments: usize,
+    pub segment_bytes: u64,
+    pub wal_bytes: u64,
+    pub mem_series: usize,
+    pub mem_samples: u64,
+    /// Samples recovered from the WAL at open.
+    pub recovered_samples: u64,
+    /// Torn-tail bytes discarded at open.
+    pub recovered_truncated_bytes: u64,
+}
+
+/// The embedded time-series store. One instance owns one directory.
+pub struct Tsdb {
+    dir: PathBuf,
+    wal: Wal,
+    mem: BTreeMap<SeriesKey, BTreeMap<u64, u64>>,
+    mem_samples: u64,
+    segments: Vec<(u64, SegmentReader)>, // (seq, reader), ascending seq
+    next_seq: u64,
+    opts: DbOptions,
+    recovered_samples: u64,
+    recovered_truncated_bytes: u64,
+}
+
+fn seg_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let num = name.strip_prefix("seg-")?.strip_suffix(".tsdb")?;
+    num.parse().ok()
+}
+
+impl Tsdb {
+    pub fn open(dir: &Path) -> Result<Tsdb, TsdbError> {
+        Tsdb::open_with(dir, DbOptions::default())
+    }
+
+    pub fn open_with(dir: &Path, opts: DbOptions) -> Result<Tsdb, TsdbError> {
+        fs::create_dir_all(dir)?;
+        let mut segments = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(seq) = seg_seq(&path) else { continue };
+            let reader = SegmentReader::open(&path)?;
+            if reader.kind != KIND_SERIES {
+                return Err(TsdbError::Corrupt(format!(
+                    "{}: wrong segment kind {} in series store",
+                    path.display(),
+                    reader.kind
+                )));
+            }
+            segments.push((seq, reader));
+        }
+        segments.sort_by_key(|&(seq, _)| seq);
+        let next_seq = segments.last().map(|&(seq, _)| seq + 1).unwrap_or(1);
+
+        let recovery = Wal::open(&dir.join("wal.log")).map_err(TsdbError::Io)?;
+        let mut mem: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
+        let mut mem_samples = 0u64;
+        let mut recovered_samples = 0u64;
+        for rec in &recovery.records {
+            let series = mem.entry(SeriesKey::new(&*rec.host, &*rec.metric)).or_default();
+            for &(ts, bits) in &rec.samples {
+                if series.insert(ts, bits).is_none() {
+                    mem_samples += 1;
+                }
+                recovered_samples += 1;
+            }
+        }
+
+        Ok(Tsdb {
+            dir: dir.to_path_buf(),
+            wal: recovery.wal,
+            mem,
+            mem_samples,
+            segments,
+            next_seq,
+            opts,
+            recovered_samples,
+            recovered_truncated_bytes: recovery.truncated_bytes,
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append one sample. Buffered: call [`Tsdb::sync`] to make durable.
+    pub fn append(&mut self, host: &str, metric: &str, ts: u64, value: f64) -> io::Result<()> {
+        self.append_batch(host, metric, &[(ts, value)])
+    }
+
+    /// Append a batch for one series (one WAL record — cheaper than
+    /// per-sample appends).
+    pub fn append_batch(
+        &mut self,
+        host: &str,
+        metric: &str,
+        samples: &[(u64, f64)],
+    ) -> io::Result<()> {
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let bits: Vec<(u64, u64)> =
+            samples.iter().map(|&(ts, v)| (ts, v.to_bits())).collect();
+        self.wal.append(&WalRecord {
+            host: host.to_string(),
+            metric: metric.to_string(),
+            samples: bits.clone(),
+        })?;
+        let series = self.mem.entry(SeriesKey::new(host, metric)).or_default();
+        for (ts, b) in bits {
+            if series.insert(ts, b).is_none() {
+                self.mem_samples += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Durability ack: when this returns, every appended sample survives
+    /// any crash.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Seal the memtable into a new immutable segment and reset the WAL.
+    /// No-op on an empty memtable. Implies [`Tsdb::sync`] semantics — on
+    /// return, all data is durable in segment form.
+    pub fn flush(&mut self) -> Result<(), TsdbError> {
+        if self.mem.is_empty() {
+            // Still reset a non-empty WAL (e.g. deletes-only future use).
+            if !self.wal.is_empty() {
+                self.wal.reset()?;
+            }
+            return Ok(());
+        }
+        let mut writer = SegmentWriter::new(KIND_SERIES);
+        let mut block: Vec<(String, String, Vec<(u64, u64)>)> = Vec::new();
+        for (key, series) in &self.mem {
+            let samples: Vec<(u64, u64)> = series.iter().map(|(&ts, &b)| (ts, b)).collect();
+            for chunk in samples.chunks(self.opts.chunk_samples.max(1)) {
+                block.push((key.host.clone(), key.metric.clone(), chunk.to_vec()));
+                if block.len() >= self.opts.block_chunks.max(1) {
+                    writer.push_series_block(&block);
+                    block.clear();
+                }
+            }
+        }
+        if !block.is_empty() {
+            writer.push_series_block(&block);
+        }
+        let seq = self.next_seq;
+        let path = self.dir.join(format!("seg-{seq:06}.tsdb"));
+        writer.seal(&path)?;
+        let reader = SegmentReader::open(&path)?;
+        self.segments.push((seq, reader));
+        self.next_seq = seq + 1;
+        // Segment is durable; only now is it safe to drop the WAL.
+        self.wal.reset()?;
+        self.mem.clear();
+        self.mem_samples = 0;
+        Ok(())
+    }
+
+    /// Merge all sealed segments into one. Queries are equivalent before
+    /// and after. Crash-safe: the merged segment (higher seq) is sealed
+    /// before the inputs are deleted, and last-wins merging makes any
+    /// leftover inputs harmless.
+    pub fn compact(&mut self) -> Result<(), TsdbError> {
+        if self.segments.len() <= 1 {
+            return Ok(());
+        }
+        let mut merged: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
+        for (_, reader) in &self.segments {
+            for entry in &reader.entries {
+                let payload = reader.read_block(entry)?;
+                for chunk in reader.decode_series_block(&payload)? {
+                    let series =
+                        merged.entry(SeriesKey::new(chunk.host, chunk.metric)).or_default();
+                    for (ts, bits) in chunk.samples {
+                        series.insert(ts, bits);
+                    }
+                }
+            }
+        }
+        let mut writer = SegmentWriter::new(KIND_SERIES);
+        let mut block: Vec<(String, String, Vec<(u64, u64)>)> = Vec::new();
+        for (key, series) in &merged {
+            let samples: Vec<(u64, u64)> = series.iter().map(|(&ts, &b)| (ts, b)).collect();
+            for chunk in samples.chunks(self.opts.chunk_samples.max(1)) {
+                block.push((key.host.clone(), key.metric.clone(), chunk.to_vec()));
+                if block.len() >= self.opts.block_chunks.max(1) {
+                    writer.push_series_block(&block);
+                    block.clear();
+                }
+            }
+        }
+        if !block.is_empty() {
+            writer.push_series_block(&block);
+        }
+        let seq = self.next_seq;
+        let path = self.dir.join(format!("seg-{seq:06}.tsdb"));
+        writer.seal(&path)?;
+        let reader = SegmentReader::open(&path)?;
+        let old: Vec<PathBuf> =
+            self.segments.iter().map(|(_, r)| r.path().to_path_buf()).collect();
+        self.segments = vec![(seq, reader)];
+        self.next_seq = seq + 1;
+        for p in old {
+            fs::remove_file(&p)?;
+        }
+        Ok(())
+    }
+
+    /// All series keys present (segments + memtable), sorted.
+    pub fn series_keys(&self) -> Result<Vec<SeriesKey>, TsdbError> {
+        let mut keys: std::collections::BTreeSet<SeriesKey> =
+            self.mem.keys().cloned().collect();
+        for (_, reader) in &self.segments {
+            for entry in &reader.entries {
+                let payload = reader.read_block(entry)?;
+                for chunk in reader.decode_series_block(&payload)? {
+                    keys.insert(SeriesKey::new(chunk.host, chunk.metric));
+                }
+            }
+        }
+        Ok(keys.into_iter().collect())
+    }
+
+    /// Range scan: all series matching `sel`, samples with
+    /// `t0 <= ts <= t1`, merged last-write-wins, sorted by key then ts.
+    pub fn query(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+    ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        let mut acc: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
+        for (_, reader) in &self.segments {
+            for entry in &reader.entries {
+                // Sparse time index: skip blocks outside the range.
+                if entry.max_ts < t0 || entry.min_ts > t1 {
+                    continue;
+                }
+                let payload = reader.read_block(entry)?;
+                for chunk in reader.decode_series_block(&payload)? {
+                    let key = SeriesKey::new(chunk.host, chunk.metric);
+                    if !sel.matches(&key) {
+                        continue;
+                    }
+                    let series = acc.entry(key).or_default();
+                    for (ts, bits) in chunk.samples {
+                        if ts >= t0 && ts <= t1 {
+                            series.insert(ts, bits);
+                        }
+                    }
+                }
+            }
+        }
+        for (key, series) in &self.mem {
+            if !sel.matches(key) {
+                continue;
+            }
+            let out = acc.entry(key.clone()).or_default();
+            for (&ts, &bits) in series.range(t0..=t1) {
+                out.insert(ts, bits);
+            }
+        }
+        Ok(acc
+            .into_iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(key, series)| {
+                let samples =
+                    series.into_iter().map(|(ts, bits)| (ts, f64::from_bits(bits))).collect();
+                (key, samples)
+            })
+            .collect())
+    }
+
+    /// Single-series range scan.
+    pub fn query_series(
+        &self,
+        host: &str,
+        metric: &str,
+        t0: u64,
+        t1: u64,
+    ) -> Result<Vec<(u64, f64)>, TsdbError> {
+        let sel = Selector { host: Some(host.to_string()), metric: Some(metric.to_string()) };
+        Ok(self.query(&sel, t0, t1)?.into_iter().next().map(|(_, s)| s).unwrap_or_default())
+    }
+
+    /// Downsample matching series into `bin_secs` bins aligned at
+    /// multiples of `bin_secs`; returns `(bin_start_ts, agg)` per
+    /// non-empty bin.
+    pub fn downsample(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        bin_secs: u64,
+        agg: Agg,
+    ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        let bin_secs = bin_secs.max(1);
+        let series = self.query(sel, t0, t1)?;
+        Ok(series
+            .into_iter()
+            .map(|(key, samples)| {
+                let mut bins: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
+                for (ts, v) in samples {
+                    bins.entry(ts / bin_secs * bin_secs).or_default().push((ts, v));
+                }
+                let binned =
+                    bins.into_iter().map(|(start, s)| (start, agg.fold(&s))).collect();
+                (key, binned)
+            })
+            .collect())
+    }
+
+    /// Total bytes of sealed segments on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.segments.iter().map(|(_, r)| r.file_len()).sum()
+    }
+
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            segments: self.segments.len(),
+            segment_bytes: self.disk_bytes(),
+            wal_bytes: self.wal.len(),
+            mem_series: self.mem.len(),
+            mem_samples: self.mem_samples,
+            recovered_samples: self.recovered_samples,
+            recovered_truncated_bytes: self.recovered_truncated_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsdb-db-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fill(db: &mut Tsdb) {
+        for host in ["c301-101", "c301-102"] {
+            for (metric, base) in [("cpu_user", 0.25), ("mem_used", 1.0e9)] {
+                let samples: Vec<(u64, f64)> =
+                    (0..200).map(|i| (i * 600, base + i as f64)).collect();
+                db.append_batch(host, metric, &samples).unwrap();
+            }
+        }
+        db.sync().unwrap();
+    }
+
+    #[test]
+    fn append_query_from_memtable() {
+        let dir = tmpdir("mem");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        let out = db.query_series("c301-101", "cpu_user", 600, 1800).unwrap();
+        assert_eq!(out, vec![(600, 1.25), (1200, 2.25), (1800, 3.25)]);
+        assert_eq!(db.stats().mem_series, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_then_query_identical() {
+        let dir = tmpdir("flush");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        let before = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.stats().mem_samples, 0);
+        assert_eq!(db.stats().segments, 1);
+        assert!(db.wal.is_empty());
+        let after = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        assert_eq!(before, after);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_after_flush_sees_segments() {
+        let dir = tmpdir("reopen");
+        let expect;
+        {
+            let mut db = Tsdb::open(&dir).unwrap();
+            fill(&mut db);
+            db.flush().unwrap();
+            expect = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        }
+        let db = Tsdb::open(&dir).unwrap();
+        assert_eq!(db.query(&Selector::all(), 0, u64::MAX).unwrap(), expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_without_flush_recovers_from_wal() {
+        let dir = tmpdir("crash");
+        let expect;
+        {
+            let mut db = Tsdb::open(&dir).unwrap();
+            fill(&mut db);
+            expect = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+            // drop without flush = crash after sync
+        }
+        let db = Tsdb::open(&dir).unwrap();
+        assert!(db.stats().recovered_samples > 0);
+        assert_eq!(db.query(&Selector::all(), 0, u64::MAX).unwrap(), expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_query_results() {
+        let dir = tmpdir("compact");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        // Second generation: overwrite some points, add new ones.
+        db.append_batch("c301-101", "cpu_user", &[(600, 99.0), (200_000, 7.0)]).unwrap();
+        db.sync().unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.stats().segments, 2);
+        let before = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        db.compact().unwrap();
+        assert_eq!(db.stats().segments, 1);
+        let after = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        assert_eq!(before, after);
+        // Overwrite won: ts=600 is 99.0.
+        let s = db.query_series("c301-101", "cpu_user", 600, 600).unwrap();
+        assert_eq!(s, vec![(600, 99.0)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn selectors_filter_host_and_metric() {
+        let dir = tmpdir("sel");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        let by_host = db.query(&Selector::host("c301-101"), 0, u64::MAX).unwrap();
+        assert_eq!(by_host.len(), 2);
+        assert!(by_host.iter().all(|(k, _)| k.host == "c301-101"));
+        let by_metric = db.query(&Selector::metric("mem_used"), 0, u64::MAX).unwrap();
+        assert_eq!(by_metric.len(), 2);
+        assert!(by_metric.iter().all(|(k, _)| k.metric == "mem_used"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn downsampling_bins_align_and_aggregate() {
+        let dir = tmpdir("down");
+        let mut db = Tsdb::open(&dir).unwrap();
+        db.append_batch("h", "m", &[(0, 1.0), (600, 2.0), (3600, 10.0), (4200, 20.0)])
+            .unwrap();
+        db.sync().unwrap();
+        let sel = Selector { host: Some("h".into()), metric: Some("m".into()) };
+        let out = db.downsample(&sel, 0, u64::MAX, 3600, Agg::Mean).unwrap();
+        assert_eq!(out[0].1, vec![(0, 1.5), (3600, 15.0)]);
+        let out = db.downsample(&sel, 0, u64::MAX, 3600, Agg::Max).unwrap();
+        assert_eq!(out[0].1, vec![(0, 2.0), (3600, 20.0)]);
+        let out = db.downsample(&sel, 0, u64::MAX, 3600, Agg::Count).unwrap();
+        assert_eq!(out[0].1, vec![(0, 2.0), (3600, 2.0)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn time_range_queries_use_sparse_index() {
+        let dir = tmpdir("range");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        let out = db.query_series("c301-102", "mem_used", 6000, 6600).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 6000);
+        let empty = db.query_series("c301-102", "mem_used", 10_000_000, 20_000_000).unwrap();
+        assert!(empty.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn special_floats_round_trip_through_disk() {
+        let dir = tmpdir("specials");
+        let nan_bits = 0x7FF8_0000_0000_0001u64;
+        {
+            let mut db = Tsdb::open(&dir).unwrap();
+            db.append_batch(
+                "h",
+                "m",
+                &[
+                    (0, f64::from_bits(nan_bits)),
+                    (600, f64::NEG_INFINITY),
+                    (1200, -0.0),
+                ],
+            )
+            .unwrap();
+            db.sync().unwrap();
+            db.flush().unwrap();
+        }
+        let db = Tsdb::open(&dir).unwrap();
+        let out = db.query_series("h", "m", 0, u64::MAX).unwrap();
+        assert_eq!(out[0].1.to_bits(), nan_bits);
+        assert_eq!(out[1].1, f64::NEG_INFINITY);
+        assert_eq!(out[2].1.to_bits(), (-0.0f64).to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,46 @@
+//! `supremm-tsdb`: an embedded, append-only time-series storage engine.
+//!
+//! The paper's warehouse ingests 20 months of node-level counters from
+//! two clusters and has to answer XDMoD's interactive queries over them;
+//! §5 names "technologies ... to quickly process, store, and query
+//! massive TACC_Stats data" as the missing piece. This crate is that
+//! layer for the Rust tool chain: a single-directory storage engine the
+//! warehouse flushes ingest output through and the report/serving layer
+//! queries, instead of keeping everything in memory and re-scanning raw
+//! archives.
+//!
+//! Shape (one directory per store):
+//!
+//! ```text
+//! store/
+//! ├── wal.log            append-only write-ahead log (torn-tail safe)
+//! ├── seg-000001.tsdb    immutable sealed segment (CRC'd blocks + index)
+//! └── seg-000002.tsdb
+//! ```
+//!
+//! - [`codec`] — Gorilla-style per-series chunk compression:
+//!   delta-of-delta timestamps and XOR / zigzag-varint values;
+//! - [`segment`] — immutable segment files: versioned header, per-block
+//!   CRC32, sparse time index in the footer;
+//! - [`wal`] — the write-ahead log: length+CRC framed records, torn-write
+//!   detection, replay-and-truncate recovery;
+//! - [`db`] — the engine: [`Tsdb`] (open → append → sync → flush →
+//!   compact) with time-range + host/metric predicate scans and
+//!   downsampling;
+//! - [`recordlog`] — the same segment container for opaque records
+//!   (the warehouse's job table rides on it).
+//!
+//! Durability contract: a sample is *acked* once [`Tsdb::sync`] (or
+//! [`Tsdb::flush`]) returns. Recovery after any crash — including a torn
+//! write anywhere in the WAL tail — never panics and never loses an
+//! acked sample; unacked tail samples may be dropped.
+
+pub mod codec;
+pub mod crc;
+pub mod db;
+pub mod recordlog;
+pub mod segment;
+pub mod wal;
+
+pub use db::{Agg, DbOptions, DbStats, Selector, SeriesKey, Tsdb};
+pub use segment::TsdbError;

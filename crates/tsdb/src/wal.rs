@@ -1,0 +1,367 @@
+//! Write-ahead log with torn-write detection.
+//!
+//! Every append lands here first; the memtable is rebuilt from this file
+//! after a crash. Format:
+//!
+//! ```text
+//! header  "SUPWAL01"                               8 bytes
+//! record  u32 len · u32 crc32(payload) · payload   repeated
+//! ```
+//!
+//! Record payload:
+//!
+//! ```text
+//! varint host_len  · host bytes
+//! varint metric_len· metric bytes
+//! varint n · (varint ts · varint value_bits)*
+//! ```
+//!
+//! **Torn-write handling.** A crash can leave a partial record at the
+//! tail (short frame, short payload, or payload that fails its CRC).
+//! [`Wal::open`] replays records until the first bad frame, returns the
+//! good prefix, and truncates the file back to the end of the last good
+//! record — so the next append never interleaves with garbage. Anything
+//! before the torn tail was acked and survives; the torn record itself
+//! was never acked (sync() hadn't returned) so dropping it keeps the
+//! durability contract.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::{get_varint, put_varint};
+use crate::crc::crc32;
+
+pub const WAL_MAGIC: &[u8; 8] = b"SUPWAL01";
+
+/// One replayed / to-be-appended WAL record: a batch of samples for a
+/// single series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub host: String,
+    pub metric: String,
+    /// `(timestamp, f64 bit pattern)` pairs.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(self.host.len() + self.metric.len() + self.samples.len() * 6);
+        put_varint(&mut p, self.host.len() as u64);
+        p.extend_from_slice(self.host.as_bytes());
+        put_varint(&mut p, self.metric.len() as u64);
+        p.extend_from_slice(self.metric.as_bytes());
+        put_varint(&mut p, self.samples.len() as u64);
+        for &(ts, bits) in &self.samples {
+            put_varint(&mut p, ts);
+            put_varint(&mut p, bits);
+        }
+        p
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut pos = 0usize;
+        let read_str = |pos: &mut usize| -> Option<String> {
+            let len = get_varint(payload, pos)? as usize;
+            let end = pos.checked_add(len)?;
+            let bytes = payload.get(*pos..end)?;
+            *pos = end;
+            String::from_utf8(bytes.to_vec()).ok()
+        };
+        let host = read_str(&mut pos)?;
+        let metric = read_str(&mut pos)?;
+        let n = get_varint(payload, &mut pos)? as usize;
+        if n > payload.len().saturating_sub(pos).saturating_mul(32) + 1 {
+            return None;
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ts = get_varint(payload, &mut pos)?;
+            let bits = get_varint(payload, &mut pos)?;
+            samples.push((ts, bits));
+        }
+        if pos != payload.len() {
+            return None;
+        }
+        Some(WalRecord { host, metric, samples })
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+pub struct WalRecovery {
+    pub wal: Wal,
+    /// Records that survived (in append order).
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail discarded (0 on a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// Append-side handle. Writes are buffered; [`Wal::sync`] flushes and
+/// fsyncs — the durability ack point.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Length of the durable, valid prefix (grows on append).
+    len: u64,
+}
+
+impl Wal {
+    /// Open (creating if absent), replay valid records, truncate any
+    /// torn tail, and position for appending.
+    pub fn open(path: &Path) -> io::Result<WalRecovery> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut records = Vec::new();
+        let mut good_end: u64;
+        if file_len == 0 {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            good_end = WAL_MAGIC.len() as u64;
+        } else {
+            let mut buf = Vec::with_capacity(file_len as usize);
+            file.read_to_end(&mut buf)?;
+            if buf.len() < WAL_MAGIC.len() {
+                if WAL_MAGIC.starts_with(&buf) {
+                    // Torn header write: nothing was ever acked in this
+                    // log, so rewriting it fresh loses nothing.
+                    file.set_len(0)?;
+                    file.seek(SeekFrom::Start(0))?;
+                    file.write_all(WAL_MAGIC)?;
+                    file.sync_all()?;
+                    buf = WAL_MAGIC.to_vec();
+                } else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: not a SUPWAL01 write-ahead log", path.display()),
+                    ));
+                }
+            } else if &buf[..WAL_MAGIC.len()] != WAL_MAGIC {
+                // Not our file — refuse rather than clobber.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: not a SUPWAL01 write-ahead log", path.display()),
+                ));
+            }
+            good_end = WAL_MAGIC.len() as u64;
+            let mut pos = WAL_MAGIC.len();
+            loop {
+                let Some(frame) = buf.get(pos..pos + 8) else { break };
+                let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+                let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+                let Some(payload) = buf.get(pos + 8..pos + 8 + len) else { break };
+                if crc32(payload) != crc {
+                    break;
+                }
+                let Some(rec) = WalRecord::decode(payload) else { break };
+                records.push(rec);
+                pos += 8 + len;
+                good_end = pos as u64;
+            }
+        }
+
+        let truncated_bytes = file_len.saturating_sub(good_end);
+        if truncated_bytes > 0 {
+            file.set_len(good_end)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+        let wal = Wal { path: path.to_path_buf(), writer: BufWriter::new(file), len: good_end };
+        Ok(WalRecovery { wal, records, truncated_bytes })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Valid log length in bytes (header + acked records + buffered).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// Buffer one record. NOT durable until [`Wal::sync`] returns.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let payload = rec.encode();
+        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(&payload).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.len += 8 + payload.len() as u64;
+        Ok(())
+    }
+
+    /// Flush buffers and fsync. When this returns, every record appended
+    /// so far is durable — the ack point of the store.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()
+    }
+
+    /// Discard all records (after their data has been sealed into a
+    /// segment): truncate back to the header and fsync.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        let f = self.writer.get_mut();
+        f.set_len(WAL_MAGIC.len() as u64)?;
+        f.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        f.sync_all()?;
+        self.len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsdb-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn recs() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                host: "c301-101".into(),
+                metric: "cpu_user".into(),
+                samples: vec![(600, 1.5f64.to_bits()), (1200, 2.5f64.to_bits())],
+            },
+            WalRecord {
+                host: "c301-102".into(),
+                metric: "mem_used".into(),
+                samples: vec![(600, 4096u64)],
+            },
+            WalRecord { host: "h".into(), metric: "m".into(), samples: vec![] },
+        ]
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_everything() {
+        let path = tmp("replay");
+        {
+            let mut rec = Wal::open(&path).unwrap();
+            assert!(rec.records.is_empty());
+            for r in recs() {
+                rec.wal.append(&r).unwrap();
+            }
+            rec.wal.sync().unwrap();
+        }
+        let rec = Wal::open(&path).unwrap();
+        assert_eq!(rec.records, recs());
+        assert_eq!(rec.truncated_bytes, 0);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_at_every_offset_recovers_prefix() {
+        let path = tmp("torn");
+        {
+            let mut rec = Wal::open(&path).unwrap();
+            for r in recs() {
+                rec.wal.append(&r).unwrap();
+            }
+            rec.wal.sync().unwrap();
+        }
+        let good = fs::read(&path).unwrap();
+        // Record boundaries: header, then each framed record.
+        let mut boundaries = vec![WAL_MAGIC.len()];
+        let mut pos = WAL_MAGIC.len();
+        while pos + 8 <= good.len() {
+            let len = u32::from_le_bytes(good[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            boundaries.push(pos);
+        }
+
+        for cut in 0..=good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            let rec = Wal::open(&path).unwrap();
+            // Expected record count = boundaries fully before the cut
+            // (a cut inside the header recovers as an empty log).
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            assert_eq!(rec.records.len(), expect, "cut at {cut}");
+            assert_eq!(rec.records, recs()[..expect].to_vec(), "cut at {cut}");
+            // Post-recovery file ends exactly at a record boundary.
+            drop(rec);
+            let after = fs::metadata(&path).unwrap().len() as usize;
+            assert!(boundaries.contains(&after) || after == WAL_MAGIC.len(), "cut at {cut}");
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_middle_record_stops_replay_before_it() {
+        let path = tmp("midcorrupt");
+        {
+            let mut rec = Wal::open(&path).unwrap();
+            for r in recs() {
+                rec.wal.append(&r).unwrap();
+            }
+            rec.wal.sync().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of record 1 (skip header + record 0 frame).
+        let r0_len =
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let r1_payload = 8 + 8 + r0_len + 8;
+        bytes[r1_payload] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let rec = Wal::open(&path).unwrap();
+        assert_eq!(rec.records, recs()[..1].to_vec());
+        assert!(rec.truncated_bytes > 0);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn append_after_recovery_continues_cleanly() {
+        let path = tmp("continue");
+        {
+            let mut rec = Wal::open(&path).unwrap();
+            rec.wal.append(&recs()[0]).unwrap();
+            rec.wal.sync().unwrap();
+            // Simulate a torn append: write half a frame directly.
+            rec.wal.writer.write_all(&[0x55, 0x00, 0x00]).unwrap();
+            rec.wal.sync().unwrap();
+        }
+        {
+            let mut rec = Wal::open(&path).unwrap();
+            assert_eq!(rec.records.len(), 1);
+            assert!(rec.truncated_bytes > 0);
+            rec.wal.append(&recs()[1]).unwrap();
+            rec.wal.sync().unwrap();
+        }
+        let rec = Wal::open(&path).unwrap();
+        assert_eq!(rec.records, recs()[..2].to_vec());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let mut rec = Wal::open(&path).unwrap();
+        for r in recs() {
+            rec.wal.append(&r).unwrap();
+        }
+        rec.wal.sync().unwrap();
+        rec.wal.reset().unwrap();
+        assert!(rec.wal.is_empty());
+        drop(rec);
+        let rec = Wal::open(&path).unwrap();
+        assert!(rec.records.is_empty());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign");
+        fs::write(&path, b"definitely not a wal but long enough").unwrap();
+        assert!(Wal::open(&path).is_err());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

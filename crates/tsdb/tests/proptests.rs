@@ -1,0 +1,145 @@
+//! Property tests for the storage engine: arbitrary data through the
+//! chunk codec, the WAL (including truncation at arbitrary offsets), and
+//! the full engine with interleaved flushes and compaction.
+//!
+//! CI's nightly job reruns this suite with `PROPTEST_CASES=1024`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use supremm_tsdb::codec::{decode_chunk, encode_chunk};
+use supremm_tsdb::wal::{Wal, WalRecord};
+use supremm_tsdb::{Selector, Tsdb};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tsdb-prop-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Sample streams that exercise both the timestamp DoD path (regular and
+/// irregular spacing, including wrap-around deltas) and both value modes
+/// (integral deltas and XOR floats, with NaN/∞ bit patterns).
+fn samples_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..200)
+}
+
+proptest! {
+    #[test]
+    fn chunk_codec_round_trips_arbitrary_samples(samples in samples_strategy()) {
+        let enc = encode_chunk(&samples);
+        prop_assert_eq!(decode_chunk(&enc), Some(samples));
+    }
+
+    #[test]
+    fn chunk_decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        // Any outcome is fine; crashing is not.
+        let _ = decode_chunk(&bytes);
+    }
+
+    #[test]
+    fn wal_replays_exactly_what_was_synced(
+        records in prop::collection::vec(
+            (prop::collection::vec((any::<u64>(), any::<u64>()), 0..20), 0u8..3),
+            0..20,
+        )
+    ) {
+        let dir = tmpdir("replay");
+        let path = dir.join("wal");
+        let written: Vec<WalRecord> = records
+            .iter()
+            .map(|(samples, host)| WalRecord {
+                host: format!("h{host}"),
+                metric: "m".into(),
+                samples: samples.clone(),
+            })
+            .collect();
+        {
+            let mut wal = Wal::open(&path).unwrap().wal;
+            for r in &written {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let rec = Wal::open(&path).unwrap();
+        prop_assert_eq!(rec.truncated_bytes, 0);
+        prop_assert_eq!(rec.records, written);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_truncation_recovers_a_prefix(
+        samples in prop::collection::vec((any::<u64>(), any::<u64>()), 1..10),
+        n_records in 1usize..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal");
+        let record = WalRecord { host: "h".into(), metric: "m".into(), samples };
+        {
+            let mut wal = Wal::open(&path).unwrap().wal;
+            for _ in 0..n_records {
+                wal.append(&record).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Tear the file at an arbitrary byte offset.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let rec = Wal::open(&path).unwrap();
+        prop_assert!(rec.records.len() <= n_records);
+        for r in &rec.records {
+            prop_assert_eq!(r, &record);
+        }
+        // Recovery leaves an appendable log.
+        let mut wal = rec.wal;
+        wal.append(&record).unwrap();
+        wal.sync().unwrap();
+        let rec2 = Wal::open(&path).unwrap();
+        prop_assert_eq!(rec2.records.len(), rec.records.len() + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_with_flushes_and_compaction_equals_last_wins_map(
+        ops in prop::collection::vec(
+            (0u8..3, 0u8..2, 0u64..500, any::<u64>(), any::<bool>()),
+            1..120,
+        )
+    ) {
+        let dir = tmpdir("engine");
+        let mut db = Tsdb::open(&dir).unwrap();
+        let mut model: std::collections::BTreeMap<(String, String, u64), u64> =
+            std::collections::BTreeMap::new();
+        for (host, metric, ts, bits, flush) in &ops {
+            let (host, metric) = (format!("h{host}"), format!("m{metric}"));
+            db.append(&host, &metric, *ts, f64::from_bits(*bits)).unwrap();
+            model.insert((host, metric, *ts), *bits);
+            if *flush {
+                db.flush().unwrap();
+            }
+        }
+        db.flush().unwrap();
+        db.compact().unwrap();
+        // Reopen from disk: everything must still be there, last-wins.
+        let db = Tsdb::open(&dir).unwrap();
+        let mut got: std::collections::BTreeMap<(String, String, u64), u64> =
+            std::collections::BTreeMap::new();
+        for (key, pts) in db.query(&Selector::all(), 0, u64::MAX).unwrap() {
+            for (ts, v) in pts {
+                let old = got.insert((key.host.clone(), key.metric.clone(), ts), v.to_bits());
+                prop_assert!(old.is_none(), "duplicate sample in query output");
+            }
+        }
+        prop_assert_eq!(got, model);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -56,7 +56,7 @@ impl std::error::Error for BinError {}
 
 // --- varint primitives ----------------------------------------------------
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -68,7 +68,7 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, BinError> {
+pub(crate) fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, BinError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -99,12 +99,12 @@ fn delta_decode(prev: u64, z: u64) -> u64 {
     prev.wrapping_add(d as u64)
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, BinError> {
+pub(crate) fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, BinError> {
     let len = get_varint(buf, pos)? as usize;
     let end = pos.checked_add(len).ok_or(BinError::Truncated)?;
     let bytes = buf.get(*pos..end).ok_or(BinError::Truncated)?;

@@ -21,14 +21,22 @@
 //!   mergeable [`streaming::FilePartial`] feeding job fragments *and*
 //!   system bins, so archives are parsed exactly once per run;
 //! - [`binfmt`] is the compact binary import format of §5's future work
-//!   (delta+varint over the text format's content, lossless).
+//!   (delta+varint over the text format's content, lossless);
+//! - [`jobcodec`] is the per-job binary codec behind the segment-backed
+//!   job table (bit-exact floats, legacy JSON-lines read shim);
+//! - [`tsdbio`] bridges warehouse products into the `supremm-tsdb`
+//!   storage engine (system series, per-host metric series).
 
 pub mod binfmt;
 pub mod ingest;
+pub mod jobcodec;
 pub mod record;
 pub mod store;
 pub mod streaming;
 pub mod timeseries;
+pub mod tsdbio;
+
+pub use supremm_tsdb as tsdb;
 
 pub use ingest::{ingest, ingest_with_series, IngestStats};
 pub use record::{ExitKind, JobRecord};

@@ -238,46 +238,58 @@ mod tests {
     }
 }
 
-/// Disk persistence: the warehouse's export/import format is JSON-lines
-/// (one [`JobRecord`] per line), the shape the paper's XDMoD ingest
-/// pipeline exchanges with its databases.
+/// Disk persistence: the export/import format is a tsdb record segment
+/// (kind 1) — one binary [`JobRecord`] per entry ([`crate::jobcodec`]),
+/// CRC-checked blocks, atomic rename on write. [`JobTable::load`] also
+/// accepts the pre-segment JSON-lines export for one release
+/// (detected by magic; see [`crate::jobcodec::decode_legacy_json`]).
 impl JobTable {
-    /// Serialise every record as one JSON object per line.
-    pub fn to_json_lines(&self) -> String {
-        let mut out = String::new();
-        for j in &self.jobs {
-            out.push_str(&serde_json::to_string(j).expect("plain data serialises"));
-            out.push('\n');
-        }
-        out
+    /// Write the table to a file (atomic: tmp + fsync + rename).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let records: Vec<(u64, Vec<u8>)> =
+            self.jobs.iter().map(|j| (j.end.0, crate::jobcodec::encode(j))).collect();
+        supremm_tsdb::recordlog::write_records(path, &records)
+            .map(|_| ())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
-    /// Parse a JSON-lines export, skipping corrupt lines (counted in the
-    /// second return).
-    pub fn from_json_lines(text: &str) -> (JobTable, usize) {
+    /// Load a table previously written with [`JobTable::save`] — or, for
+    /// one release, a legacy JSON-lines export. Returns the table and
+    /// the number of records skipped as corrupt (legacy path only;
+    /// segment corruption is an error, not a skip).
+    pub fn load_counting(path: &std::path::Path) -> std::io::Result<(JobTable, usize)> {
+        if supremm_tsdb::recordlog::is_segment_file(path) {
+            let records = supremm_tsdb::recordlog::read_records(path).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?;
+            let jobs = records
+                .iter()
+                .map(|bytes| crate::jobcodec::decode(bytes))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+            return Ok((JobTable::new(jobs), 0));
+        }
+        // Legacy JSON-lines: tolerate corrupt lines, count them.
+        let text = std::fs::read_to_string(path)?;
         let mut jobs = Vec::new();
         let mut bad = 0usize;
         for line in text.lines() {
             if line.is_empty() {
                 continue;
             }
-            match serde_json::from_str(line) {
-                Ok(j) => jobs.push(j),
-                Err(_) => bad += 1,
+            match crate::jobcodec::decode_legacy_json(line) {
+                Some(j) => jobs.push(j),
+                None => bad += 1,
             }
         }
-        (JobTable::new(jobs), bad)
+        Ok((JobTable::new(jobs), bad))
     }
 
-    /// Write the table to a file.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json_lines())
-    }
-
-    /// Load a table previously written with [`JobTable::save`].
+    /// [`JobTable::load_counting`] without the skip count.
     pub fn load(path: &std::path::Path) -> std::io::Result<JobTable> {
-        let text = std::fs::read_to_string(path)?;
-        Ok(Self::from_json_lines(&text).0)
+        Ok(Self::load_counting(path)?.0)
     }
 }
 
@@ -309,29 +321,73 @@ mod persistence_tests {
         }])
     }
 
-    #[test]
-    fn json_lines_round_trip() {
-        let t = sample_table();
-        let (back, bad) = JobTable::from_json_lines(&t.to_json_lines());
-        assert_eq!(bad, 0);
-        assert_eq!(back.jobs(), t.jobs());
+    /// The old serde-derive JSON-lines shape, reproduced for shim tests.
+    fn legacy_line(j: &JobRecord) -> String {
+        use supremm_metrics::json::{obj, Value};
+        obj([
+            ("job", j.job.0.into()),
+            ("user", j.user.0.into()),
+            ("app", j.app.as_deref().into()),
+            ("science", format!("{:?}", j.science).into()),
+            ("queue", j.queue.as_str().into()),
+            ("submit", j.submit.0.into()),
+            ("start", j.start.0.into()),
+            ("end", j.end.0.into()),
+            ("nodes", j.nodes.into()),
+            ("exit", format!("{:?}", j.exit).into()),
+            ("metrics", Value::Array(j.metrics.0.iter().map(|&v| v.into()).collect())),
+            ("extended", Value::Array(j.extended.iter().map(|&v| v.into()).collect())),
+            ("flops_valid", j.flops_valid.into()),
+            ("samples", j.samples.into()),
+            ("coverage_gaps", j.coverage_gaps.into()),
+        ])
+        .to_string()
     }
 
     #[test]
-    fn corrupt_lines_are_counted_not_fatal() {
-        let text = format!("{}garbage\n\n{}", sample_table().to_json_lines(), "{broken\n");
-        let (back, bad) = JobTable::from_json_lines(&text);
-        assert_eq!(back.len(), 1);
-        assert_eq!(bad, 2);
-    }
-
-    #[test]
-    fn file_round_trip() {
-        let path = std::env::temp_dir().join(format!("supremm-table-{}.jsonl", std::process::id()));
+    fn segment_file_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("supremm-table-{}.tsdb", std::process::id()));
         let t = sample_table();
         t.save(&path).unwrap();
-        let back = JobTable::load(&path).unwrap();
+        assert!(supremm_tsdb::recordlog::is_segment_file(&path));
+        let (back, bad) = JobTable::load_counting(&path).unwrap();
+        assert_eq!(bad, 0);
         assert_eq!(back.jobs(), t.jobs());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_table_round_trips_through_file() {
+        let path =
+            std::env::temp_dir().join(format!("supremm-empty-{}.tsdb", std::process::id()));
+        JobTable::default().save(&path).unwrap();
+        assert!(JobTable::load(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_json_lines_still_load() {
+        let path =
+            std::env::temp_dir().join(format!("supremm-legacy-{}.jsonl", std::process::id()));
+        let t = sample_table();
+        let text: String = t.jobs().iter().map(|j| legacy_line(j) + "\n").collect();
+        std::fs::write(&path, &text).unwrap();
+        let (back, bad) = JobTable::load_counting(&path).unwrap();
+        assert_eq!(bad, 0);
+        assert_eq!(back.jobs(), t.jobs());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_corrupt_lines_are_counted_not_fatal() {
+        let path =
+            std::env::temp_dir().join(format!("supremm-corrupt-{}.jsonl", std::process::id()));
+        let good = legacy_line(&sample_table().jobs()[0]);
+        std::fs::write(&path, format!("{good}garbage\n\n{good}\n{{broken\n")).unwrap();
+        let (back, bad) = JobTable::load_counting(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(bad, 2);
         std::fs::remove_file(&path).unwrap();
     }
 }

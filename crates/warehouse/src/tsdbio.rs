@@ -1,0 +1,257 @@
+//! Warehouse ⇄ tsdb bridge.
+//!
+//! Three things flow through the store:
+//!
+//! 1. **System series** ([`SystemSeries`]): each [`SystemBin`] field
+//!    becomes one series under the pseudo-host `_sys` (counts are exact
+//!    in f64; float sums travel as raw bits), so
+//!    [`load_system_series`]`(`[`store_system_series`]`(s))` is
+//!    bit-identical — the property the pipeline differential tests pin.
+//! 2. **Per-host metric series**: [`store_archive_series`] reduces each
+//!    raw file to its per-interval [`ExtendedMetric`] values and appends
+//!    them under the real hostname — the store-side replacement for
+//!    re-scanning raw archives, and the payload the compression
+//!    benchmark measures.
+//! 3. Store metadata (`_meta`/`bin_secs`) so a reopened store knows its
+//!    own binning.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use supremm_metrics::{ExtendedMetric, Timestamp};
+use supremm_taccstats::derive::interval_metrics_ref;
+use supremm_taccstats::format::{stream_lenient, RecordRef, SampleRef};
+use supremm_taccstats::RawArchive;
+use supremm_tsdb::{Selector, Tsdb, TsdbError};
+
+use crate::timeseries::{SystemBin, SystemSeries};
+
+/// Pseudo-host for cluster-wide series.
+pub const SYSTEM_HOST: &str = "_sys";
+/// Pseudo-host for store metadata.
+pub const META_HOST: &str = "_meta";
+
+/// The 16 system-bin fields, in struct order. Each maps one series
+/// metric name to its getter and setter.
+pub const SYSTEM_FIELDS: [&str; 16] = [
+    "active_nodes",
+    "busy_nodes",
+    "intervals",
+    "flops",
+    "mem_used_bytes",
+    "cpu_user_sum",
+    "cpu_system_sum",
+    "cpu_idle_sum",
+    "scratch_write_bps",
+    "scratch_read_bps",
+    "work_write_bps",
+    "work_read_bps",
+    "share_write_bps",
+    "share_read_bps",
+    "ib_tx_bps",
+    "lnet_tx_bps",
+];
+
+fn field_get(bin: &SystemBin, field: &str) -> f64 {
+    match field {
+        "active_nodes" => bin.active_nodes as f64,
+        "busy_nodes" => bin.busy_nodes as f64,
+        "intervals" => bin.intervals as f64,
+        "flops" => bin.flops,
+        "mem_used_bytes" => bin.mem_used_bytes,
+        "cpu_user_sum" => bin.cpu_user_sum,
+        "cpu_system_sum" => bin.cpu_system_sum,
+        "cpu_idle_sum" => bin.cpu_idle_sum,
+        "scratch_write_bps" => bin.scratch_write_bps,
+        "scratch_read_bps" => bin.scratch_read_bps,
+        "work_write_bps" => bin.work_write_bps,
+        "work_read_bps" => bin.work_read_bps,
+        "share_write_bps" => bin.share_write_bps,
+        "share_read_bps" => bin.share_read_bps,
+        "ib_tx_bps" => bin.ib_tx_bps,
+        "lnet_tx_bps" => bin.lnet_tx_bps,
+        _ => unreachable!("unknown system field {field}"),
+    }
+}
+
+fn field_set(bin: &mut SystemBin, field: &str, v: f64) {
+    match field {
+        "active_nodes" => bin.active_nodes = v as u32,
+        "busy_nodes" => bin.busy_nodes = v as u32,
+        "intervals" => bin.intervals = v as u32,
+        "flops" => bin.flops = v,
+        "mem_used_bytes" => bin.mem_used_bytes = v,
+        "cpu_user_sum" => bin.cpu_user_sum = v,
+        "cpu_system_sum" => bin.cpu_system_sum = v,
+        "cpu_idle_sum" => bin.cpu_idle_sum = v,
+        "scratch_write_bps" => bin.scratch_write_bps = v,
+        "scratch_read_bps" => bin.scratch_read_bps = v,
+        "work_write_bps" => bin.work_write_bps = v,
+        "work_read_bps" => bin.work_read_bps = v,
+        "share_write_bps" => bin.share_write_bps = v,
+        "share_read_bps" => bin.share_read_bps = v,
+        "ib_tx_bps" => bin.ib_tx_bps = v,
+        "lnet_tx_bps" => bin.lnet_tx_bps = v,
+        _ => unreachable!("unknown system field {field}"),
+    }
+}
+
+/// Append a [`SystemSeries`] into the store (one series per bin field,
+/// plus binning metadata). Call [`Tsdb::sync`] or [`Tsdb::flush`] after.
+pub fn store_system_series(db: &mut Tsdb, series: &SystemSeries) -> io::Result<()> {
+    db.append(META_HOST, "bin_secs", 0, series.bin_secs as f64)?;
+    for field in SYSTEM_FIELDS {
+        let samples: Vec<(u64, f64)> =
+            series.bins.iter().map(|b| (b.ts.0, field_get(b, field))).collect();
+        db.append_batch(SYSTEM_HOST, field, &samples)?;
+    }
+    Ok(())
+}
+
+/// Rebuild the [`SystemSeries`] from the store — the query-API path the
+/// report/serving layer uses instead of recomputing from raw archives.
+pub fn load_system_series(db: &Tsdb) -> Result<SystemSeries, TsdbError> {
+    let bin_secs = db
+        .query_series(META_HOST, "bin_secs", 0, 0)?
+        .first()
+        .map(|&(_, v)| v as u64)
+        .unwrap_or(0);
+    let mut bins: BTreeMap<u64, SystemBin> = BTreeMap::new();
+    for (key, samples) in db.query(&Selector::host(SYSTEM_HOST), 0, u64::MAX)? {
+        for (ts, v) in samples {
+            let bin = bins.entry(ts).or_default();
+            bin.ts = Timestamp(ts);
+            field_set(bin, &key.metric, v);
+        }
+    }
+    Ok(SystemSeries { bin_secs, bins: into_sorted_bins(bins) })
+}
+
+fn into_sorted_bins(bins: BTreeMap<u64, SystemBin>) -> Vec<SystemBin> {
+    bins.into_values().collect()
+}
+
+/// Reduce every raw file to per-interval [`ExtendedMetric`] series and
+/// append them under the real hostnames. Returns the number of samples
+/// appended. Pairing matches the streaming ingest: consecutive records
+/// with the same job tag form an interval, attributed to the later
+/// record's timestamp; corrupt regions are quarantined by the lenient
+/// scanner.
+pub fn store_archive_series(db: &mut Tsdb, archive: &RawArchive) -> io::Result<u64> {
+    let mut appended = 0u64;
+    for (key, text) in archive.iter() {
+        let Ok(mut samples) = stream_lenient(text) else { continue };
+        let host = key.host.hostname();
+        let mut batches: Vec<Vec<(u64, f64)>> =
+            vec![Vec::new(); ExtendedMetric::ALL.len()];
+        let mut prev: Option<RecordRef<'_>> = None;
+        while let Some(item) = samples.next() {
+            let Ok(sample) = item else { break };
+            let SampleRef::Record(rec) = sample else { continue };
+            if let Some(p) = &prev {
+                if p.job == rec.job {
+                    if let Some(m) = interval_metrics_ref(p, &rec) {
+                        for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
+                            batches[i].push((rec.ts.0, m.get(*metric)));
+                        }
+                    }
+                }
+            }
+            prev = Some(rec);
+        }
+        for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
+            if !batches[i].is_empty() {
+                appended += batches[i].len() as u64;
+                db.append_batch(&host, metric.name(), &batches[i])?;
+            }
+        }
+    }
+    Ok(appended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use supremm_metrics::{HostId, JobId};
+    use supremm_procsim::{KernelState, NodeActivity, NodeSpec};
+    use supremm_taccstats::Collector;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wh-tsdbio-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn archive() -> RawArchive {
+        let mut archive = RawArchive::new();
+        for host in 0..2u32 {
+            let mut kernel = KernelState::new(NodeSpec::ranger());
+            let mut c = Collector::new(HostId(host));
+            let mut ts = Timestamp(600);
+            c.begin_job(&mut kernel, JobId(5), ts);
+            let act = NodeActivity { user_frac: 0.7, flops: 1e12, ..NodeActivity::idle() };
+            for _ in 0..5 {
+                kernel.advance(&act, 600.0);
+                ts = ts + supremm_metrics::Duration(600);
+                c.sample(&kernel, ts);
+            }
+            c.end_job(&mut kernel, JobId(5), ts);
+            for (k, text) in c.into_files() {
+                archive.insert(k, text);
+            }
+        }
+        archive
+    }
+
+    #[test]
+    fn system_series_round_trips_bit_identically() {
+        let dir = tmpdir("sysround");
+        let series = SystemSeries::from_archive(&archive(), 600);
+        assert!(!series.bins.is_empty());
+        let mut db = Tsdb::open(&dir).unwrap();
+        store_system_series(&mut db, &series).unwrap();
+        db.flush().unwrap();
+        let back = load_system_series(&db).unwrap();
+        assert_eq!(back.bin_secs, series.bin_secs);
+        assert_eq!(back.bins, series.bins, "bit-identical bins through the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn system_series_survives_reopen_without_flush() {
+        let dir = tmpdir("syswal");
+        let series = SystemSeries::from_archive(&archive(), 600);
+        {
+            let mut db = Tsdb::open(&dir).unwrap();
+            store_system_series(&mut db, &series).unwrap();
+            db.sync().unwrap();
+            // Crash: no flush.
+        }
+        let db = Tsdb::open(&dir).unwrap();
+        let back = load_system_series(&db).unwrap();
+        assert_eq!(back.bins, series.bins);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn archive_series_land_under_hostnames() {
+        let dir = tmpdir("hosts");
+        let mut db = Tsdb::open(&dir).unwrap();
+        let n = store_archive_series(&mut db, &archive()).unwrap();
+        assert!(n > 0);
+        db.flush().unwrap();
+        let flops = db
+            .query_series("c0000", ExtendedMetric::CpuFlops.name(), 0, u64::MAX)
+            .unwrap();
+        assert_eq!(flops.len(), 5, "five paired intervals");
+        assert!(flops.iter().all(|&(_, v)| v > 0.0));
+        let keys = db.series_keys().unwrap();
+        assert!(keys
+            .iter()
+            .any(|k| k.host == "c0001" && k.metric == ExtendedMetric::MemUsed.name()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -82,6 +82,20 @@ impl Dataset {
     pub fn get(&self, label: &str) -> Option<f64> {
         self.rows.iter().find(|(l, _)| l == label).map(|&(_, v)| v)
     }
+
+    /// Serialise as the `{"rows":[[label,value],...]}` JSON document the
+    /// HTTP API returns.
+    pub fn to_json(&self) -> String {
+        use supremm_metrics::json::Value;
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|(label, value)| {
+                Value::Array(vec![label.as_str().into(), (*value).into()])
+            })
+            .collect();
+        supremm_metrics::json::obj([("rows", Value::Array(rows))]).to_string()
+    }
 }
 
 fn size_class(nodes: u32) -> &'static str {

@@ -41,11 +41,10 @@ pub fn to_csv(ds: &Dataset, value_header: &str) -> String {
 /// Render an `(x, y)` chart series as JSON (what the XDMoD web front end
 /// consumes).
 pub fn to_json_series(name: &str, points: &[(f64, f64)]) -> String {
-    let series: Vec<serde_json::Value> = points
-        .iter()
-        .map(|&(x, y)| serde_json::json!([x, y]))
-        .collect();
-    serde_json::json!({ "name": name, "data": series }).to_string()
+    use supremm_metrics::json::{obj, Value};
+    let series: Vec<Value> =
+        points.iter().map(|&(x, y)| Value::Array(vec![x.into(), y.into()])).collect();
+    obj([("name", name.into()), ("data", Value::Array(series))]).to_string()
 }
 
 /// Sparkline-ish text rendering of a series (for terminal reports):
@@ -98,7 +97,7 @@ mod tests {
     #[test]
     fn json_series_is_valid_json() {
         let j = to_json_series("flops", &[(0.0, 1.0), (600.0, 2.5)]);
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        let v = supremm_metrics::json::Value::parse(&j).unwrap();
         assert_eq!(v["name"], "flops");
         assert_eq!(v["data"][1][1], 2.5);
     }

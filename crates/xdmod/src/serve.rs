@@ -8,17 +8,24 @@
 //! GET /healthz
 //! GET /v1/summary
 //! GET /v1/query?dimension=<d>&statistic=<s>[&metric=<m>][&top=<n>]
+//! GET /v1/series?[host=<h>][&metric=<m>][&t0=<s>][&t1=<s>][&bin=<s>][&agg=<a>]
 //! ```
 //!
-//! The request handling is a pure function ([`handle`]) so the protocol
-//! logic is unit-testable without sockets; [`serve`] is the thin
+//! `/v1/series` answers straight from the `tsdb` storage engine when one
+//! is attached (time-range + host/metric predicates, optional
+//! downsampling with `agg` ∈ mean|sum|min|max|last|count).
+//!
+//! The request handling is a pure function ([`handle_with_store`]) so the
+//! protocol logic is unit-testable without sockets; [`serve`] is the thin
 //! accept-loop wrapper.
 
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use supremm_metrics::json::{obj, Value};
 use supremm_metrics::KeyMetric;
+use supremm_warehouse::tsdb::{Agg, Selector, Tsdb};
 use supremm_warehouse::JobTable;
 
 use crate::framework::{run, Dimension, Query, Statistic};
@@ -97,8 +104,29 @@ fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
     }
 }
 
+fn parse_agg(s: &str) -> Option<Agg> {
+    Some(match s {
+        "mean" => Agg::Mean,
+        "sum" => Agg::Sum,
+        "min" => Agg::Min,
+        "max" => Agg::Max,
+        "last" => Agg::Last,
+        "count" => Agg::Count,
+        _ => return None,
+    })
+}
+
 /// Handle one request line (`GET <target> HTTP/1.x`) against the table.
 pub fn handle(table: &JobTable, request_line: &str) -> Response {
+    handle_with_store(table, None, request_line)
+}
+
+/// [`handle`], with an optional `tsdb` store behind `/v1/series`.
+pub fn handle_with_store(
+    table: &JobTable,
+    store: Option<&Tsdb>,
+    request_line: &str,
+) -> Response {
     let mut parts = request_line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(t)) => (m, t),
@@ -137,10 +165,58 @@ pub fn handle(table: &JobTable, request_line: &str) -> Response {
             if let Some(n) = get("top").and_then(|v| v.parse::<usize>().ok()) {
                 ds.rows.truncate(n);
             }
-            match serde_json::to_string(&ds) {
-                Ok(body) => Response::json(200, body),
-                Err(_) => Response::error(500, "serialisation failed"),
-            }
+            Response::json(200, ds.to_json())
+        }
+        "/v1/series" => {
+            let Some(db) = store else {
+                return Response::error(404, "no time-series store attached");
+            };
+            let sel = Selector {
+                host: get("host").map(str::to_string),
+                metric: get("metric").map(str::to_string),
+            };
+            let parse_ts = |key: &str, default: u64| match get(key) {
+                None => Some(default),
+                Some(v) => v.parse::<u64>().ok(),
+            };
+            let (Some(t0), Some(t1)) = (parse_ts("t0", 0), parse_ts("t1", u64::MAX))
+            else {
+                return Response::error(400, "t0/t1 must be unsigned seconds");
+            };
+            let result = match get("bin") {
+                None => db.query(&sel, t0, t1),
+                Some(bin) => {
+                    let Ok(bin) = bin.parse::<u64>() else {
+                        return Response::error(400, "bin must be unsigned seconds");
+                    };
+                    if bin == 0 {
+                        return Response::error(400, "bin must be positive");
+                    }
+                    let Some(agg) = parse_agg(get("agg").unwrap_or("mean")) else {
+                        return Response::error(400, "unknown agg");
+                    };
+                    db.downsample(&sel, t0, t1, bin, agg)
+                }
+            };
+            let series = match result {
+                Ok(series) => series,
+                Err(e) => return Response::error(500, &format!("store: {e}")),
+            };
+            let body: Vec<Value> = series
+                .into_iter()
+                .map(|(key, points)| {
+                    let pts: Vec<Value> = points
+                        .into_iter()
+                        .map(|(ts, v)| Value::Array(vec![(ts as f64).into(), v.into()]))
+                        .collect();
+                    obj([
+                        ("host", key.host.as_str().into()),
+                        ("metric", key.metric.as_str().into()),
+                        ("points", Value::Array(pts)),
+                    ])
+                })
+                .collect();
+            Response::json(200, obj([("series", Value::Array(body))]).to_string())
         }
         _ => Response::error(404, "unknown path"),
     }
@@ -149,6 +225,16 @@ pub fn handle(table: &JobTable, request_line: &str) -> Response {
 /// Accept-loop: serve requests until `shutdown` flips. Binds are the
 /// caller's job so tests can use an ephemeral port.
 pub fn serve(table: &JobTable, listener: TcpListener, shutdown: &AtomicBool) -> std::io::Result<()> {
+    serve_with_store(table, None, listener, shutdown)
+}
+
+/// [`serve`], with an optional `tsdb` store behind `/v1/series`.
+pub fn serve_with_store(
+    table: &JobTable,
+    store: Option<&Tsdb>,
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -158,7 +244,7 @@ pub fn serve(table: &JobTable, listener: TcpListener, shutdown: &AtomicBool) -> 
                 let n = stream.read(&mut buf).unwrap_or(0);
                 let request = String::from_utf8_lossy(&buf[..n]);
                 let line = request.lines().next().unwrap_or("");
-                let resp = handle(table, line);
+                let resp = handle_with_store(table, store, line);
                 let _ = stream.write_all(resp.to_http().as_bytes());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -209,9 +295,9 @@ mod tests {
         assert_eq!(r.status, 200);
         let r = handle(&t, "GET /v1/summary HTTP/1.0");
         assert_eq!(r.status, 200);
-        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
-        assert_eq!(v["jobs"], 3);
-        assert_eq!(v["users"], 3);
+        let v = supremm_metrics::json::Value::parse(&r.body).unwrap();
+        assert_eq!(v["jobs"], 3u64);
+        assert_eq!(v["users"], 3u64);
     }
 
     #[test]
@@ -222,7 +308,7 @@ mod tests {
             "GET /v1/query?dimension=application&statistic=node_hours HTTP/1.0",
         );
         assert_eq!(r.status, 200, "{}", r.body);
-        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        let v = supremm_metrics::json::Value::parse(&r.body).unwrap();
         assert_eq!(v["rows"][0][0], "NAMD");
         assert_eq!(v["rows"][0][1], 4.0);
     }
@@ -237,7 +323,7 @@ mod tests {
             "GET /v1/query?dimension=none&statistic=weighted_mean&metric=cpu_idle HTTP/1.0",
         );
         assert_eq!(good.status, 200);
-        let v: serde_json::Value = serde_json::from_str(&good.body).unwrap();
+        let v = supremm_metrics::json::Value::parse(&good.body).unwrap();
         let idle = v["rows"][0][1].as_f64().unwrap();
         assert!((idle - (0.1 + 0.4 + 0.2) / 3.0).abs() < 1e-9);
     }
@@ -249,7 +335,7 @@ mod tests {
             &t,
             "GET /v1/query?dimension=user&statistic=job_count&top=1 HTTP/1.0",
         );
-        let v: serde_json::Value = serde_json::from_str(&r.body).unwrap();
+        let v = supremm_metrics::json::Value::parse(&r.body).unwrap();
         assert_eq!(v["rows"].as_array().unwrap().len(), 1);
         assert_eq!(handle(&t, "GET /nope HTTP/1.0").status, 404);
         assert_eq!(handle(&t, "POST /healthz HTTP/1.0").status, 400);
@@ -258,6 +344,45 @@ mod tests {
             handle(&t, "GET /v1/query?dimension=bogus&statistic=job_count HTTP/1.0").status,
             400
         );
+    }
+
+    #[test]
+    fn series_endpoint_answers_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("serve-series-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = Tsdb::open(&dir).unwrap();
+        db.append_batch("c0000", "cpu_user", &[(0, 0.25), (600, 0.75), (1200, 0.5)])
+            .unwrap();
+        db.flush().unwrap();
+        let t = table();
+        // Without a store attached the endpoint is a clean 404.
+        assert_eq!(handle(&t, "GET /v1/series HTTP/1.0").status, 404);
+        let r = handle_with_store(
+            &t,
+            Some(&db),
+            "GET /v1/series?host=c0000&metric=cpu_user&t0=0&t1=600 HTTP/1.0",
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["series"][0]["host"], "c0000");
+        assert_eq!(v["series"][0]["metric"], "cpu_user");
+        assert_eq!(v["series"][0]["points"].as_array().unwrap().len(), 2);
+        assert_eq!(v["series"][0]["points"][1][1], 0.75);
+        // Downsampling folds all three samples into one mean bin.
+        let r = handle_with_store(&t, Some(&db), "GET /v1/series?bin=1800 HTTP/1.0");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["series"][0]["points"][0][1], 0.5);
+        // Bad parameters are clean 400s.
+        for bad in [
+            "GET /v1/series?t0=x HTTP/1.0",
+            "GET /v1/series?bin=0 HTTP/1.0",
+            "GET /v1/series?bin=600&agg=median HTTP/1.0",
+        ] {
+            assert_eq!(handle_with_store(&t, Some(&db), bad).status, 400, "{bad}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

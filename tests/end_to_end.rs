@@ -208,7 +208,7 @@ fn http_api_answers_over_the_pipeline_table() {
         "GET /v1/query?dimension=application&statistic=node_hours HTTP/1.0",
     );
     assert_eq!(resp.status, 200);
-    let v: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    let v = supremm_suite::metrics::json::Value::parse(&resp.body).unwrap();
     let rows = v["rows"].as_array().unwrap();
     assert!(!rows.is_empty());
     // Sum of per-app node-hours equals the table total.
