@@ -682,7 +682,7 @@ pub fn volume_and_workload(ds: &MachineDataset, paper_weighted_len_min: f64) -> 
 /// job boundaries (a node's end-of-job-A sample carries the same
 /// timestamp as job B's first sample).
 pub fn ablation_attribution(ds: &MachineDataset) -> ExperimentResult {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use supremm_metrics::HostId;
 
     if ds.archive.is_empty() {
@@ -694,7 +694,7 @@ pub fn ablation_attribution(ds: &MachineDataset) -> ExperimentResult {
     }
 
     // Per-host job windows from accounting.
-    let mut windows: HashMap<HostId, Vec<(u64, u64, supremm_metrics::JobId)>> = HashMap::new();
+    let mut windows: BTreeMap<HostId, Vec<(u64, u64, supremm_metrics::JobId)>> = BTreeMap::new();
     for acct in &ds.accounting {
         for &h in &acct.hosts {
             windows.entry(h).or_default().push((acct.start.0, acct.end.0, acct.job));

@@ -22,7 +22,6 @@
 
 use std::collections::HashSet;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
 
 use supremm_clustersim::faultsim::InjectionLog;
 use supremm_clustersim::job::{CompletedJob, ExitStatus};
@@ -346,7 +345,7 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
     };
 
     let mut fault_log = InjectionLog::default();
-    let (streams, acc, archive) = if opts.overlap {
+    let (streams, acc, archive, pool) = if opts.overlap {
         run_overlapped(&cfg, opts, consume_opts, &mut fault_log)
     } else {
         // Batch mode: materialise the full archive first, then one
@@ -357,12 +356,14 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
             faulted(opts.fault_plan, &mut fault_log, |key, text| archive.insert(key, text)),
         );
         let acc = supremm_warehouse::consume_archive(&archive, consume_opts);
-        (streams, acc, archive)
+        (streams, acc, archive, PoolFailures::default())
     };
 
     let raw_total_bytes = acc.total_bytes();
     let raw_mean = acc.mean_bytes_per_file();
-    let out = acc.finish(&streams.accounting, &streams.lariat);
+    let mut out = acc.finish(&streams.accounting, &streams.lariat);
+    out.stats.worker_panics = pool.worker_panics;
+    out.stats.files_lost = pool.files_lost;
 
     let table = JobTable::new(out.records);
     let series = out.series.expect("pipeline always bins");
@@ -387,67 +388,165 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
     }
 }
 
+/// Worker-pool failures, surfaced into [`IngestStats`] so a degraded
+/// ingest is visible in the run's accounting instead of aborting it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct PoolFailures {
+    /// Files whose parse panicked (each is quarantined whole).
+    worker_panics: usize,
+    /// Files dispatched but never folded into a partial.
+    files_lost: usize,
+}
+
+/// Marker a test can plant in a raw file's text to make its ingest
+/// worker panic mid-parse, exercising the quarantine-and-continue path.
+#[cfg(test)]
+const INJECTED_PANIC_MARKER: &str = "##test-ingest-panic##";
+
+fn consume_one(acc: &mut StreamAccumulator, key: RawFileKey, text: &str) {
+    #[cfg(test)]
+    if text.contains(INJECTED_PANIC_MARKER) {
+        panic!("injected ingest panic for {key:?}");
+    }
+    acc.consume(key, text);
+}
+
+/// Hand one file to the pool: a non-blocking sweep first (any worker
+/// with queue room takes it), then a blocking send in round-robin
+/// order. A worker found dead is dropped from rotation; returns `false`
+/// only once every worker is gone.
+fn dispatch(
+    senders: &mut Vec<mpsc::SyncSender<(RawFileKey, String)>>,
+    next: &mut usize,
+    mut item: (RawFileKey, String),
+) -> bool {
+    for i in 0..senders.len() {
+        let idx = (*next + i) % senders.len();
+        match senders[idx].try_send(item) {
+            Ok(()) => {
+                *next = idx + 1;
+                return true;
+            }
+            Err(mpsc::TrySendError::Full(it)) | Err(mpsc::TrySendError::Disconnected(it)) => {
+                item = it;
+            }
+        }
+    }
+    while !senders.is_empty() {
+        let idx = *next % senders.len();
+        match senders[idx].send(item) {
+            Ok(()) => {
+                *next = idx + 1;
+                return true;
+            }
+            Err(mpsc::SendError(it)) => {
+                item = it;
+                senders.remove(idx);
+            }
+        }
+    }
+    false
+}
+
+/// Run `produce` with a worker pool consuming every file it emits.
+///
+/// Each worker owns its receiver outright (no shared-`Receiver` mutex,
+/// so no lock to poison and no guard held across a blocking `recv`). A
+/// panic while parsing one file quarantines that file and keeps both
+/// the worker and its accumulated partials; a worker lost entirely is
+/// tallied, and the files it took with it show up in
+/// [`PoolFailures::files_lost`] rather than tearing down the run.
+fn pooled_ingest<T>(
+    consume_opts: ConsumeOptions,
+    workers: usize,
+    keep: bool,
+    produce: impl FnOnce(&mut dyn FnMut(RawFileKey, String)) -> T,
+) -> (T, StreamAccumulator, RawArchive, PoolFailures) {
+    let workers = workers.max(1);
+    let depth = (INGEST_QUEUE_DEPTH / workers).max(1);
+
+    std::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::sync_channel::<(RawFileKey, String)>(depth);
+            senders.push(tx);
+            handles.push(scope.spawn(move || {
+                let mut acc = StreamAccumulator::new(consume_opts);
+                let mut kept: Vec<(RawFileKey, String)> = Vec::new();
+                let mut received = 0usize;
+                let mut panics = 0usize;
+                while let Ok((key, text)) = rx.recv() {
+                    received += 1;
+                    let parse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        consume_one(&mut acc, key, &text);
+                    }));
+                    if parse.is_err() {
+                        panics += 1;
+                        acc.quarantine(key, text.len() as u64);
+                    }
+                    if keep {
+                        kept.push((key, text));
+                    }
+                }
+                (acc, kept, received, panics)
+            }));
+        }
+
+        let mut next = 0usize;
+        let mut sent = 0usize;
+        let mut lost_sends = 0usize;
+        let mut on_file = |key: RawFileKey, text: String| {
+            if dispatch(&mut senders, &mut next, (key, text)) {
+                sent += 1;
+            } else {
+                lost_sends += 1;
+            }
+        };
+        let value = produce(&mut on_file);
+        drop(on_file);
+        drop(senders); // hang up: workers drain their queues and exit
+
+        let mut failures = PoolFailures { files_lost: lost_sends, ..PoolFailures::default() };
+        let mut received = 0usize;
+        let mut acc = StreamAccumulator::new(consume_opts);
+        let mut archive = RawArchive::new();
+        for handle in handles {
+            match handle.join() {
+                Ok((worker_acc, kept, worker_received, panics)) => {
+                    failures.worker_panics += panics;
+                    received += worker_received;
+                    acc = acc.absorb(worker_acc);
+                    for (key, text) in kept {
+                        archive.insert(key, text);
+                    }
+                }
+                // Died outside the per-file guard; its partials (and
+                // any queued files) are gone — counted via `received`.
+                Err(_) => failures.worker_panics += 1,
+            }
+        }
+        failures.files_lost += sent.saturating_sub(received);
+        (value, acc, archive, failures)
+    })
+}
+
 /// Collection and ingest running concurrently: the simulation thread
-/// produces raw files into a bounded channel; a worker pool consumes
-/// each file exactly once into per-file partials. With `keep_archive:
-/// false` the text is freed right after its parse, so peak raw-text
-/// memory is bounded by the files in flight, not the whole run.
+/// produces raw files into bounded per-worker channels; the pool
+/// consumes each file exactly once into per-file partials. With
+/// `keep_archive: false` the text is freed right after its parse, so
+/// peak raw-text memory is bounded by the files in flight, not the
+/// whole run.
 fn run_overlapped(
     cfg: &ClusterConfig,
     opts: &PipelineOptions,
     consume_opts: ConsumeOptions,
     fault_log: &mut InjectionLog,
-) -> (SimStreams, StreamAccumulator, RawArchive) {
+) -> (SimStreams, StreamAccumulator, RawArchive, PoolFailures) {
     let workers = ingest_worker_count(opts);
     let keep = opts.keep_archive;
-    let (tx, rx) = mpsc::sync_channel::<(RawFileKey, String)>(INGEST_QUEUE_DEPTH);
-    let rx = Arc::new(Mutex::new(rx));
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                scope.spawn(move || {
-                    let mut acc = StreamAccumulator::new(consume_opts);
-                    let mut kept: Vec<(RawFileKey, String)> = Vec::new();
-                    loop {
-                        // Take the lock only to receive; parse unlocked so
-                        // workers overlap with each other too.
-                        let msg = rx.lock().expect("ingest queue poisoned").recv();
-                        match msg {
-                            Ok((key, text)) => {
-                                acc.consume(key, &text);
-                                if keep {
-                                    kept.push((key, text));
-                                }
-                            }
-                            // Producer hung up: no more files.
-                            Err(mpsc::RecvError) => break,
-                        }
-                    }
-                    (acc, kept)
-                })
-            })
-            .collect();
-
-        let streams = drive_simulation(
-            cfg,
-            faulted(opts.fault_plan, fault_log, |key, text| {
-                tx.send((key, text)).expect("ingest workers alive");
-            }),
-        );
-        drop(tx);
-
-        let mut acc = StreamAccumulator::new(consume_opts);
-        let mut archive = RawArchive::new();
-        for handle in handles {
-            let (worker_acc, kept) = handle.join().expect("ingest worker panicked");
-            acc = acc.absorb(worker_acc);
-            for (key, text) in kept {
-                archive.insert(key, text);
-            }
-        }
-        (streams, acc, archive)
+    pooled_ingest(consume_opts, workers, keep, |on_file| {
+        drive_simulation(cfg, faulted(opts.fault_plan, fault_log, |key, text| on_file(key, text)))
     })
 }
 
@@ -644,5 +743,47 @@ mod tests {
         );
         assert_eq!(one.ingest_stats, auto.ingest_stats);
         assert_eq!(one.series.bins, auto.series.bins);
+        assert_eq!(auto.ingest_stats.worker_panics, 0);
+        assert_eq!(auto.ingest_stats.files_lost, 0);
+    }
+
+    #[test]
+    fn worker_panic_quarantines_file_and_pool_survives() {
+        let opts = ConsumeOptions { bin_secs: Some(600), job_fragments: true, strict: false };
+        let key = |h: u32| RawFileKey { host: HostId(h), day: 7 };
+        let texts: Vec<String> = (0..8u32)
+            .map(|h| {
+                if h == 3 {
+                    format!("junk file {h}\n{INJECTED_PANIC_MARKER}\n")
+                } else {
+                    format!("junk file {h}\n")
+                }
+            })
+            .collect();
+
+        let ((), acc, _archive, failures) = pooled_ingest(opts, 4, false, |on_file| {
+            for (h, text) in texts.iter().enumerate() {
+                on_file(key(h as u32), text.clone());
+            }
+        });
+        assert_eq!(failures.worker_panics, 1, "exactly the marked file panicked");
+        assert_eq!(failures.files_lost, 0, "the pool lost nothing");
+        assert_eq!(acc.files(), 8, "every file has a partial, panicked one included");
+
+        // The pool's output matches a serial pass that quarantines the
+        // panicking file by hand.
+        let mut expect = StreamAccumulator::new(opts);
+        for (h, text) in texts.iter().enumerate() {
+            if h == 3 {
+                expect.quarantine(key(3), text.len() as u64);
+            } else {
+                expect.consume(key(h as u32), text);
+            }
+        }
+        let got = acc.finish(&[], &[]);
+        let want = expect.finish(&[], &[]);
+        assert_eq!(got.stats, want.stats);
+        assert!(got.stats.conservation_holds());
+        assert_eq!(got.stats.parse_errors, 8, "all junk: 7 rejected parses + 1 quarantined");
     }
 }

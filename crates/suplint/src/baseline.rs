@@ -1,0 +1,119 @@
+//! The committed baseline: grandfathered findings, keyed by
+//! `(rule, file)` with a count. CI fails only on findings *beyond* the
+//! baseline, so the count can only ratchet down. Hard rules
+//! ([`crate::rules::HARD_RULES`]) are never baselined.
+//!
+//! The format is a tiny TOML subset — `[[entry]]` tables with string
+//! and integer values — parsed by hand so the linter stays
+//! dependency-free. Regenerate with `--write-baseline`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Allowed finding counts per `(rule, file)`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Load from disk; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Baseline::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parse the TOML subset. Unknown keys and malformed lines are
+    /// ignored (a hand-edited baseline should degrade to "stricter",
+    /// never to "crash").
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        let (mut rule, mut file, mut count): (Option<String>, Option<String>, usize) =
+            (None, None, 0);
+        let flush =
+            |rule: &mut Option<String>, file: &mut Option<String>, count: &mut usize,
+             entries: &mut BTreeMap<(String, String), usize>| {
+                if let (Some(r), Some(f)) = (rule.take(), file.take()) {
+                    *entries.entry((r, f)).or_insert(0) += *count;
+                }
+                *count = 0;
+            };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut rule, &mut file, &mut count, &mut entries);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else { continue };
+            let (key, value) = (key.trim(), value.trim());
+            let unquoted = value.trim_matches('"');
+            match key {
+                "rule" => rule = Some(unquoted.to_string()),
+                "file" => file = Some(unquoted.to_string()),
+                "count" => count = value.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        flush(&mut rule, &mut file, &mut count, &mut entries);
+        Baseline { entries }
+    }
+
+    /// How many findings of `rule` in `file` are grandfathered.
+    pub fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.entries.get(&(rule.to_string(), file.to_string())).copied().unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Serialize grouped counts back to the baseline format.
+    pub fn render(groups: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# suplint baseline — grandfathered findings; CI fails only on NEW findings.\n\
+             # Shrink it, never grow it. Regenerate after a burn-down with:\n\
+             #   cargo run -p suplint -- --workspace --write-baseline\n",
+        );
+        for ((rule, file), count) in groups {
+            out.push_str(&format!(
+                "\n[[entry]]\nrule = \"{rule}\"\nfile = \"{file}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let mut groups = BTreeMap::new();
+        groups.insert(("R2".to_string(), "crates/x/src/a.rs".to_string()), 3usize);
+        groups.insert(("R3".to_string(), "crates/y/src/b.rs".to_string()), 1usize);
+        let text = Baseline::render(&groups);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.allowed("R2", "crates/x/src/a.rs"), 3);
+        assert_eq!(b.allowed("R3", "crates/y/src/b.rs"), 1);
+        assert_eq!(b.allowed("R2", "crates/y/src/b.rs"), 0);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/suplint-baseline.toml")).unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! `suplint` — the workspace's own static-analysis pass.
+//!
+//! Dependency-free by design: a hand-rolled lexer ([`lexer`]), a
+//! token-stream rule engine with module scoping ([`rules`]), a
+//! committed findings baseline ([`baseline`]) and a JSON/human reporter
+//! ([`report`]). See DESIGN.md § "Static analysis & enforced
+//! invariants" for the rule catalogue and zone map.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use baseline::Baseline;
+use report::Assessment;
+use rules::{Finding, SourceFile, HARD_RULES};
+
+/// Everything one lint pass produced, before baseline comparison.
+#[derive(Debug)]
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+fn is_test_dir(name: &str) -> bool {
+    matches!(name, "tests" | "benches" | "examples")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Derive the [`SourceFile`] description from a repo-relative path.
+/// `crates/tsdb/src/wal.rs` → modpath `["tsdb", "wal"]`; anything under
+/// `tests/`, `benches/` or `examples/` is whole-file test context.
+pub fn classify(rel: &str) -> SourceFile {
+    let parts: Vec<&str> = rel.split('/').collect();
+    // (crate key, components after the crate dir)
+    let (krate, rest): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", k, rest @ ..] => (k, rest),
+        rest => ("root", rest),
+    };
+    let test_context = rest.first().is_some_and(|d| is_test_dir(d));
+    let mut modpath = vec![krate.to_string()];
+    let components: &[&str] = match rest.first() {
+        Some(&"src") => &rest[1..],
+        _ => rest,
+    };
+    for (i, c) in components.iter().enumerate() {
+        let c = if i + 1 == components.len() {
+            let stem = c.strip_suffix(".rs").unwrap_or(c);
+            if matches!(stem, "lib" | "main" | "mod") {
+                continue;
+            }
+            stem
+        } else {
+            c
+        };
+        modpath.push(c.to_string());
+    }
+    SourceFile { path: rel.to_string(), modpath, test_context }
+}
+
+/// Lint every Rust source in the workspace rooted at `root`:
+/// `crates/*/{src,tests,benches,examples}` plus the root package.
+pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut krates: Vec<PathBuf> =
+            std::fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        krates.sort();
+        for k in krates.into_iter().filter(|k| k.is_dir()) {
+            for sub in ["src", "tests", "benches", "examples"] {
+                let d = k.join(sub);
+                if d.is_dir() {
+                    collect_rs(&d, &mut files)?;
+                }
+            }
+        }
+    }
+    for sub in ["src", "tests", "benches", "examples"] {
+        let d = root.join(sub);
+        if d.is_dir() {
+            collect_rs(&d, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = classify(&rel);
+        let src = std::fs::read(&path)?;
+        findings.extend(rules::lint_file(&file, &src));
+    }
+    Ok(LintRun { findings, files_scanned })
+}
+
+/// Group non-waived findings by `(rule, file)` — the baseline key.
+pub fn group_counts(findings: &[Finding]) -> BTreeMap<(String, String), usize> {
+    let mut groups: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings.iter().filter(|f| !f.waived) {
+        *groups.entry((f.rule.to_string(), f.file.clone())).or_insert(0) += 1;
+    }
+    groups
+}
+
+/// Compare a run against the baseline. A `(rule, file)` group with more
+/// findings than its allowance fails wholesale (the ratchet cannot tell
+/// old lines from new after an edit); hard rules have no allowance.
+pub fn assess(run: &LintRun, baseline: &Baseline) -> Assessment {
+    let mut a = Assessment { files_scanned: run.files_scanned, ..Assessment::default() };
+    let mut by_group: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in &run.findings {
+        if f.waived {
+            a.waived += 1;
+        } else {
+            by_group.entry((f.rule.to_string(), f.file.clone())).or_default().push(f);
+        }
+    }
+    for ((rule, file), group) in by_group {
+        let allowed =
+            if HARD_RULES.contains(&rule.as_str()) { 0 } else { baseline.allowed(&rule, &file) };
+        if group.len() > allowed {
+            a.new.extend(group.into_iter().cloned());
+        } else {
+            a.baselined += group.len();
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_paths_to_module_paths() {
+        assert_eq!(classify("crates/tsdb/src/wal.rs").modpath, ["tsdb", "wal"]);
+        assert_eq!(classify("crates/tsdb/src/lib.rs").modpath, ["tsdb"]);
+        assert_eq!(classify("crates/core/src/bin/repro.rs").modpath, ["core", "bin", "repro"]);
+        assert_eq!(classify("src/lib.rs").modpath, ["root"]);
+        let t = classify("crates/tsdb/tests/proptests.rs");
+        assert!(t.test_context);
+        assert_eq!(t.modpath, ["tsdb", "tests", "proptests"]);
+        assert!(!classify("crates/tsdb/src/db.rs").test_context);
+    }
+
+    #[test]
+    fn assess_ratchets_against_the_baseline() {
+        let mk = |rule: &'static str, file: &str, line: u32| Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: String::new(),
+            waived: false,
+        };
+        let run = LintRun {
+            findings: vec![
+                mk("R2", "a.rs", 1),
+                mk("R2", "a.rs", 2),
+                mk("R3", "b.rs", 9),
+                mk("R1", "c.rs", 4),
+            ],
+            files_scanned: 3,
+        };
+        let mut groups = BTreeMap::new();
+        groups.insert(("R2".to_string(), "a.rs".to_string()), 2usize);
+        groups.insert(("R3".to_string(), "b.rs".to_string()), 1usize);
+        // R1 baselines are ignored: hard rules always fail.
+        groups.insert(("R1".to_string(), "c.rs".to_string()), 5usize);
+        let baseline = Baseline::parse(&Baseline::render(&groups));
+        let a = assess(&run, &baseline);
+        assert_eq!(a.baselined, 3);
+        assert_eq!(a.new.len(), 1);
+        assert_eq!(a.new[0].rule, "R1");
+
+        // One more R2 finding than the baseline → the group fails.
+        let mut run2 = run;
+        run2.findings.push(mk("R2", "a.rs", 7));
+        let a2 = assess(&run2, &baseline);
+        assert_eq!(a2.new.iter().filter(|f| f.rule == "R2").count(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! CLI: `cargo run -p suplint -- --workspace`
+//!
+//! Exit codes: 0 clean (no findings beyond the baseline), 1 new
+//! findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use suplint::baseline::Baseline;
+use suplint::report::{render_human, render_json};
+use suplint::{assess, group_counts, lint_workspace, rules};
+
+const USAGE: &str = "usage: suplint --workspace [options]
+
+options:
+  --workspace            lint the whole workspace (crates/*/{src,tests,benches} + root)
+  --root <dir>           workspace root (default: current directory)
+  --baseline <path>      findings baseline (default: <root>/suplint/baseline.toml)
+  --write-baseline       rewrite the baseline from current findings and exit
+  --json <path>          machine-readable report (default: <root>/lint_report.json)
+  --no-json              skip writing the JSON report
+  --rules                print the rule catalogue and exit
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("suplint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> std::io::Result<ExitCode> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut no_json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => root = PathBuf::from(args.next().unwrap_or_default()),
+            "--baseline" => baseline_path = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--json" => json_path = Some(PathBuf::from(args.next().unwrap_or_default())),
+            "--no-json" => no_json = true,
+            "--write-baseline" => write_baseline = true,
+            "--rules" => {
+                for (id, desc) in rules::RULES {
+                    println!("{id}  {desc}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => {
+                eprintln!("suplint: unknown argument {other:?}\n{USAGE}");
+                return Ok(ExitCode::from(2));
+            }
+        }
+    }
+
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("suplint: {} does not look like a workspace root (no Cargo.toml)", root.display());
+        return Ok(ExitCode::from(2));
+    }
+
+    let run = lint_workspace(&root)?;
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("suplint/baseline.toml"));
+
+    if write_baseline {
+        // Hard rules are excluded: they cannot be grandfathered.
+        let mut groups = group_counts(&run.findings);
+        groups.retain(|(rule, _), _| !rules::HARD_RULES.contains(&rule.as_str()));
+        if let Some(dir) = baseline_path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&baseline_path, Baseline::render(&groups))?;
+        println!(
+            "suplint: wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            groups.values().sum::<usize>()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = Baseline::load(&baseline_path)?;
+    let assessment = assess(&run, &baseline);
+
+    if !no_json {
+        let json_path = json_path.unwrap_or_else(|| root.join("lint_report.json"));
+        std::fs::write(&json_path, render_json(&run.findings, &assessment))?;
+    }
+
+    let waived: Vec<_> = run.findings.iter().filter(|f| f.waived).cloned().collect();
+    print!("{}", render_human(&assessment, &waived));
+    if assessment.new.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "suplint: FAILED — {} finding(s) beyond the baseline ({})",
+            assessment.new.len(),
+            baseline_path.display()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

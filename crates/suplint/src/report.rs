@@ -1,0 +1,131 @@
+//! Human diagnostics and the machine-readable `lint_report.json`.
+//!
+//! JSON is emitted by hand (escaping per RFC 8259) — the linter lints
+//! the serializers, so it cannot depend on them.
+
+use crate::rules::{Finding, RULES};
+
+/// Outcome of comparing findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Assessment {
+    /// Findings beyond the baseline (the failing set).
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub baselined: usize,
+    /// Findings suppressed by justified waivers.
+    pub waived: usize,
+    pub files_scanned: usize,
+}
+
+impl Assessment {
+    pub fn total(&self) -> usize {
+        self.new.len() + self.baselined + self.waived
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The full JSON report: rule catalogue, every finding (with its
+/// status), and the summary the CI gate reads.
+pub fn render_json(findings: &[Finding], assessment: &Assessment) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"rules\": {\n");
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": \"{}\"{}\n",
+            id,
+            json_escape(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n  \"findings\": [\n");
+    let new_lines: std::collections::BTreeSet<(String, u32, String)> = assessment
+        .new
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.to_string()))
+        .collect();
+    for (i, f) in findings.iter().enumerate() {
+        let status = if f.waived {
+            "waived"
+        } else if new_lines.contains(&(f.file.clone(), f.line, f.rule.to_string())) {
+            "new"
+        } else {
+            "baselined"
+        };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"status\": \"{}\", \"message\": \"{}\"}}{}\n",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            status,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"waived\": {}, \"files_scanned\": {}}}\n}}\n",
+        assessment.total(),
+        assessment.new.len(),
+        assessment.baselined,
+        assessment.waived,
+        assessment.files_scanned
+    ));
+    out
+}
+
+/// Compiler-style human diagnostics, new findings first.
+pub fn render_human(assessment: &Assessment, waived: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in &assessment.new {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+    }
+    for f in waived {
+        out.push_str(&format!("{}:{}: [{}] waived: {}\n", f.file, f.line, f.rule, f.message));
+    }
+    out.push_str(&format!(
+        "suplint: {} finding(s) — {} new, {} baselined, {} waived — across {} files\n",
+        assessment.total(),
+        assessment.new.len(),
+        assessment.baselined,
+        assessment.waived,
+        assessment.files_scanned
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let findings = vec![Finding {
+            rule: "R1",
+            file: "a \"b\"\\c.rs".into(),
+            line: 3,
+            message: "tab\there".into(),
+            waived: false,
+        }];
+        let mut a = Assessment::default();
+        a.new = findings.clone();
+        a.files_scanned = 1;
+        let json = render_json(&findings, &a);
+        assert!(json.contains("a \\\"b\\\"\\\\c.rs"));
+        assert!(json.contains("tab\\there"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"new\": 1"));
+    }
+}

@@ -1,0 +1,571 @@
+//! The rule engine: project invariants as named token-stream rules.
+//!
+//! Rules run over the lexed token stream with crate/module/function
+//! scoping reconstructed from the tokens themselves (`mod x {` nesting,
+//! `#[cfg(test)]`/`#[test]` attributes). Test code — inline test
+//! modules and anything under `tests/`, `benches/`, `examples/` — is
+//! exempt from R1–R4: a test may unwrap all it likes.
+//!
+//! ## Rule catalogue
+//!
+//! - **R1 panic-freedom**: no `.unwrap()`, `.expect()`, `panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!` inside designated
+//!   fallible zones (decode/recovery/serving paths that must survive
+//!   corrupt bytes). `unwrap_or*` variants are fine — they are the
+//!   cure, not the disease.
+//! - **R2 determinism**: no `HashMap`/`HashSet` in modules that
+//!   produce serialized output, reports or dataset artifacts — use
+//!   `BTreeMap`/`BTreeSet` or sort explicitly. Any mention counts
+//!   (imports included): a type that cannot appear cannot be iterated.
+//! - **R3 codec arithmetic**: bare binary `+ - * <<` in `tsdb::codec`
+//!   must be `wrapping_*`/`checked_*` — the bit-exact round-trip
+//!   guarantee. Operations with an integer-literal operand are exempt
+//!   (bounded by construction: `7 - self.used`, `len * 2 + 16`).
+//! - **R4 lock hygiene** (workspace-wide): no `.lock().unwrap()` /
+//!   `.lock().expect()` — a poisoned mutex must be recovered, not
+//!   amplified into an abort — and no lock guard held across a
+//!   blocking `recv()`/IO call in the same expression chain.
+//!
+//! Waiver syntax: `// suplint: allow(R1) -- <justification>` on the
+//! offending line or the line directly above. The justification is
+//! mandatory; a waiver without one is itself a finding (**W0**), and
+//! W0/R1 findings can never be baselined away.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Fallible zones (module-path prefixes): decode, WAL replay, segment
+/// open/seal, raw-format scanners, HTTP handlers, store bridges.
+pub const R1_ZONES: &[&str] = &[
+    "tsdb",
+    "taccstats::format",
+    "xdmod::serve",
+    "warehouse::tsdbio",
+    "warehouse::jobcodec",
+    "warehouse::binfmt",
+];
+
+/// Serialized-output zones: job records, system series, reports,
+/// experiment artifacts — everything whose bytes land in a file,
+/// response or golden test.
+pub const R2_ZONES: &[&str] = &[
+    "warehouse::streaming",
+    "warehouse::ingest",
+    "warehouse::timeseries",
+    "warehouse::tsdbio",
+    "core::experiments",
+    "xdmod",
+    "metrics::json",
+];
+
+/// Bit-exact codec arithmetic.
+pub const R3_ZONES: &[&str] = &["tsdb::codec"];
+
+/// Rules that may never be baselined: panic-freedom in the fallible
+/// zones is the point of the whole exercise, and a waiver without a
+/// reason is not a waiver.
+pub const HARD_RULES: &[&str] = &["R1", "W0"];
+
+/// Rule catalogue for reports.
+pub const RULES: &[(&str, &str)] = &[
+    ("R1", "panic-freedom: no unwrap/expect/panic!/unreachable!/todo! in fallible zones"),
+    ("R2", "determinism: no HashMap/HashSet in serialized-output zones (use BTreeMap or sort)"),
+    ("R3", "codec arithmetic: bare + - * << in tsdb::codec must be wrapping_*/checked_*"),
+    ("R4", "lock hygiene: no .lock().unwrap()/.expect(); no guard held across blocking calls"),
+    ("W0", "waivers: every `suplint: allow` must parse and carry a non-empty justification"),
+];
+
+const R1_MACROS: &[&[u8]] = &[b"panic", b"unreachable", b"todo", b"unimplemented"];
+
+/// Calls that block while a lock guard from the same expression chain
+/// is still alive.
+const BLOCKING_CALLS: &[&[u8]] = &[
+    b"recv",
+    b"recv_timeout",
+    b"recv_deadline",
+    b"accept",
+    b"wait",
+    b"wait_timeout",
+    b"join",
+    b"read_exact",
+    b"read_to_end",
+    b"read_to_string",
+    b"write_all",
+    b"sync_all",
+    b"sync_data",
+];
+
+/// Keywords that cannot end an expression — a `+ - * <<` right after
+/// one is unary/irrelevant, not binary arithmetic.
+const NONEXPR_KEYWORDS: &[&[u8]] = &[
+    b"return", b"if", b"else", b"match", b"in", b"break", b"continue", b"while", b"loop",
+    b"let", b"mut", b"ref", b"move", b"where", b"use", b"pub", b"fn", b"impl", b"for",
+    b"struct", b"enum", b"mod", b"const", b"static", b"type", b"trait", b"unsafe", b"dyn",
+    b"as", b"yield",
+];
+
+/// One source file as the engine sees it.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (diagnostics + baseline key).
+    pub path: String,
+    /// Module path: crate directory name, then modules from the file
+    /// path (`crates/tsdb/src/wal.rs` → `["tsdb", "wal"]`).
+    pub modpath: Vec<String>,
+    /// Whole file is test context (`tests/`, `benches/`, `examples/`).
+    pub test_context: bool,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// Suppressed by a justified waiver (reported, never failing).
+    pub waived: bool,
+}
+
+fn in_zone(mods: &[String], zones: &[&str]) -> bool {
+    zones.iter().any(|z| {
+        let parts: Vec<&str> = z.split("::").collect();
+        parts.len() <= mods.len() && parts.iter().zip(mods.iter()).all(|(a, b)| a == b)
+    })
+}
+
+fn is_punct(t: &Token<'_>, s: &[u8]) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token<'_>, s: &[u8]) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn newlines(text: &[u8]) -> u32 {
+    text.iter().filter(|&&c| c == b'\n').count() as u32
+}
+
+fn lossy(text: &[u8]) -> String {
+    String::from_utf8_lossy(text).into_owned()
+}
+
+// --- waivers ---------------------------------------------------------------
+
+enum WaiverParse {
+    NotAWaiver,
+    Ok(Vec<String>),
+    Bad(&'static str),
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len().max(1)).position(|w| w == needle)
+}
+
+fn parse_waiver(comment: &[u8]) -> WaiverParse {
+    let Some(at) = find_sub(comment, b"suplint:") else { return WaiverParse::NotAWaiver };
+    let mut rest = &comment[at + b"suplint:".len()..];
+    // Block comments carry their closing delimiter in the token text.
+    if rest.ends_with(b"*/") {
+        rest = &rest[..rest.len() - 2];
+    }
+    let rest = lossy(rest);
+    let rest = rest.trim();
+    let Some(args) = rest.strip_prefix("allow") else {
+        return WaiverParse::Bad("malformed waiver: expected `suplint: allow(<rules>) -- <reason>`");
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return WaiverParse::Bad("malformed waiver: expected `suplint: allow(<rules>) -- <reason>`");
+    };
+    let Some(close) = args.find(')') else {
+        return WaiverParse::Bad("malformed waiver: unclosed rule list");
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return WaiverParse::Bad("malformed waiver: empty rule list");
+    }
+    let tail = args[close + 1..].trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return WaiverParse::Bad("waiver missing justification: append `-- <reason>`");
+    };
+    if reason.trim().is_empty() {
+        return WaiverParse::Bad("waiver missing justification: append `-- <reason>`");
+    }
+    WaiverParse::Ok(rules)
+}
+
+/// Map of line → waiver rule lists covering that line, plus W0
+/// findings for malformed/unjustified waivers.
+fn collect_waivers(
+    toks: &[Token<'_>],
+) -> (BTreeMap<u32, Vec<Vec<String>>>, Vec<(u32, &'static str)>) {
+    let mut covered: BTreeMap<u32, Vec<Vec<String>>> = BTreeMap::new();
+    let mut bad: Vec<(u32, &'static str)> = Vec::new();
+    let mut last_code_line = 0u32;
+    for t in toks {
+        if !t.is_comment() {
+            last_code_line = t.line + newlines(t.text);
+            continue;
+        }
+        let end_line = t.line + newlines(t.text);
+        match parse_waiver(t.text) {
+            WaiverParse::NotAWaiver => {}
+            WaiverParse::Bad(msg) => bad.push((t.line, msg)),
+            WaiverParse::Ok(rules) => {
+                // Trailing a statement: covers its own line. Standing
+                // alone: covers the line directly below.
+                let target = if last_code_line == t.line { t.line } else { end_line + 1 };
+                covered.entry(target).or_default().push(rules);
+            }
+        }
+    }
+    (covered, bad)
+}
+
+// --- the walker ------------------------------------------------------------
+
+struct Scope {
+    test: bool,
+    pushed_mod: bool,
+}
+
+/// Lint one file's source. Returns all findings, waived ones flagged.
+pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
+    let toks = lex(src);
+    let (waivers, bad_waivers) = collect_waivers(&toks);
+    let sig: Vec<Token<'_>> = toks.iter().copied().filter(|t| !t.is_comment()).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut mods: Vec<String> = file.modpath.clone();
+    let mut pending_test = false;
+    let mut pending_mod: Option<String> = None;
+    let mut bracket_depth = 0i64;
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+
+        // Attributes: consume `#[ … ]` wholesale; `test` without `not`
+        // anywhere inside marks the next item as test scope.
+        if is_punct(&t, b"#") && sig.get(i + 1).is_some_and(|n| is_punct(n, b"[")) {
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let (mut saw_test, mut saw_not) = (false, false);
+            while j < sig.len() {
+                let a = sig[j];
+                if is_punct(&a, b"[") {
+                    depth += 1;
+                } else if is_punct(&a, b"]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if is_ident(&a, b"test") || is_ident(&a, b"tests") {
+                    saw_test = true;
+                } else if is_ident(&a, b"not") {
+                    saw_not = true;
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                pending_test = true;
+            }
+            i = j;
+            continue;
+        }
+
+        let in_test = file.test_context || scopes.iter().any(|s| s.test);
+
+        if is_ident(&t, b"mod") {
+            if let Some(n) = sig.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    pending_mod = Some(lossy(n.text));
+                }
+            }
+        } else if is_punct(&t, b"{") {
+            let pushed = match pending_mod.take() {
+                Some(m) => {
+                    mods.push(m);
+                    true
+                }
+                None => false,
+            };
+            scopes.push(Scope { test: pending_test || in_test, pushed_mod: pushed });
+            pending_test = false;
+        } else if is_punct(&t, b"}") {
+            if let Some(s) = scopes.pop() {
+                if s.pushed_mod {
+                    mods.pop();
+                }
+            }
+        } else if is_punct(&t, b"(") || is_punct(&t, b"[") {
+            bracket_depth += 1;
+        } else if is_punct(&t, b")") || is_punct(&t, b"]") {
+            bracket_depth -= 1;
+        } else if is_punct(&t, b";") && bracket_depth <= 0 {
+            // End of a brace-less item: any pending attribute/mod was
+            // for it, not for what follows.
+            pending_test = false;
+            pending_mod = None;
+        }
+
+        if !in_test {
+            check_rules(&sig, i, &mods, &file.path, &mut findings);
+        }
+        i += 1;
+    }
+
+    // Apply waivers, then surface the broken ones.
+    for f in &mut findings {
+        if let Some(lists) = waivers.get(&f.line) {
+            if lists.iter().any(|rules| rules.iter().any(|r| r == f.rule)) {
+                f.waived = true;
+            }
+        }
+    }
+    for (line, msg) in bad_waivers {
+        findings.push(Finding {
+            rule: "W0",
+            file: file.path.clone(),
+            line,
+            message: msg.to_string(),
+            waived: false,
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn check_rules(
+    sig: &[Token<'_>],
+    i: usize,
+    mods: &[String],
+    path: &str,
+    out: &mut Vec<Finding>,
+) {
+    let t = sig[i];
+    let prev = i.checked_sub(1).and_then(|p| sig.get(p));
+    let next = sig.get(i + 1);
+    let push = |out: &mut Vec<Finding>, rule: &'static str, message: String| {
+        out.push(Finding { rule, file: path.to_string(), line: t.line, message, waived: false });
+    };
+
+    // R1: panic-freedom in fallible zones.
+    if in_zone(mods, R1_ZONES) {
+        if t.kind == TokKind::Ident
+            && (t.text == b"unwrap" || t.text == b"expect")
+            && prev.is_some_and(|p| is_punct(p, b"."))
+            && next.is_some_and(|n| is_punct(n, b"("))
+        {
+            push(out, "R1", format!(".{}() in a fallible zone — propagate with `?` or handle the failure", lossy(t.text)));
+        }
+        if t.kind == TokKind::Ident
+            && R1_MACROS.contains(&t.text)
+            && next.is_some_and(|n| is_punct(n, b"!"))
+        {
+            push(out, "R1", format!("{}! in a fallible zone — return an error instead of aborting", lossy(t.text)));
+        }
+    }
+
+    // R2: determinism in serialized-output zones.
+    if in_zone(mods, R2_ZONES)
+        && t.kind == TokKind::Ident
+        && (t.text == b"HashMap" || t.text == b"HashSet")
+    {
+        push(out, "R2", format!("{} in a serialized-output zone — use BTreeMap/BTreeSet or an explicit sort", lossy(t.text)));
+    }
+
+    // R3: codec arithmetic.
+    if in_zone(mods, R3_ZONES)
+        && t.kind == TokKind::Punct
+        && matches!(t.text, b"+" | b"-" | b"*" | b"<<")
+        && prev.is_some_and(is_expression_end)
+        && !literal_operand(prev, sig, i)
+    {
+        push(out, "R3", format!("bare `{}` in the codec — use wrapping_*/checked_* (integer-literal operands are exempt)", lossy(t.text)));
+    }
+
+    // R4: lock hygiene, everywhere.
+    if is_ident(&t, b"lock")
+        && prev.is_some_and(|p| is_punct(p, b"."))
+        && next.is_some_and(|n| is_punct(n, b"("))
+        && sig.get(i + 2).is_some_and(|n| is_punct(n, b")"))
+    {
+        if sig.get(i + 3).is_some_and(|n| is_punct(n, b"."))
+            && sig
+                .get(i + 4)
+                .is_some_and(|n| n.text == b"unwrap" || n.text == b"expect")
+        {
+            push(out, "R4", format!(".lock().{}() — recover the poisoned guard (PoisonError::into_inner) or restructure", lossy(sig[i + 4].text)));
+        }
+        // A blocking call later in the same expression chain holds the
+        // guard across it (named-guard flows are out of scope).
+        let mut j = i + 3;
+        let limit = (i + 256).min(sig.len());
+        while j < limit {
+            let a = sig[j];
+            if is_punct(&a, b";") || is_punct(&a, b"{") || is_punct(&a, b"}") {
+                break;
+            }
+            if is_punct(&a, b".")
+                && sig.get(j + 1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && BLOCKING_CALLS.contains(&n.text)
+                })
+                && sig.get(j + 2).is_some_and(|n| is_punct(n, b"("))
+            {
+                push(out, "R4", format!("lock guard held across blocking .{}() — receive/IO first, lock second", lossy(sig[j + 1].text)));
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Could the previous token end an expression? If not, the operator is
+/// unary (`-x`, `*ptr`, `&*y`) or part of a type, not arithmetic.
+fn is_expression_end(p: &Token<'_>) -> bool {
+    match p.kind {
+        TokKind::Int | TokKind::Float => true,
+        TokKind::Ident => !NONEXPR_KEYWORDS.contains(&p.text),
+        TokKind::Punct => p.text == b")" || p.text == b"]" || p.text == b"?",
+        _ => false,
+    }
+}
+
+/// Exempt when an adjacent operand is an integer literal — bounded by
+/// construction. Looks through one opening paren on the right so
+/// `x << (64 - w)` counts as literal-adjacent.
+fn literal_operand(prev: Option<&Token<'_>>, sig: &[Token<'_>], i: usize) -> bool {
+    if prev.is_some_and(|p| p.kind == TokKind::Int) {
+        return true;
+    }
+    match sig.get(i + 1) {
+        Some(n) if n.kind == TokKind::Int => true,
+        Some(n) if is_punct(n, b"(") => {
+            sig.get(i + 2).is_some_and(|n2| n2.kind == TokKind::Int)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(modpath: &[&str], src: &str) -> Vec<Finding> {
+        let file = SourceFile {
+            path: "test.rs".into(),
+            modpath: modpath.iter().map(|s| s.to_string()).collect(),
+            test_context: false,
+        };
+        lint_file(&file, src.as_bytes())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().filter(|f| !f.waived).map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_unwrap_in_zone_but_not_outside() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_of(&run(&["tsdb", "wal"], src)), vec!["R1"]);
+        assert!(rules_of(&run(&["clustersim", "sim"], src)).is_empty());
+    }
+
+    #[test]
+    fn r1_skips_unwrap_or_and_test_modules() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }";
+        assert!(rules_of(&run(&["tsdb", "db"], ok)).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests { fn f() { None::<u8>.unwrap(); panic!(\"x\") } }";
+        assert!(rules_of(&run(&["tsdb", "db"], test_mod)).is_empty());
+        let not_test = "#[cfg(not(test))]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(rules_of(&run(&["tsdb", "db"], not_test)), vec!["R1"]);
+    }
+
+    #[test]
+    fn r1_flags_abort_macros() {
+        let src = "fn f(x: u8) { match x { 0 => todo!(), 1 => unreachable!(\"no\"), _ => panic!() } }";
+        assert_eq!(rules_of(&run(&["taccstats", "format"], src)), vec!["R1", "R1", "R1"]);
+    }
+
+    #[test]
+    fn r2_flags_hash_collections_in_output_zones() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        assert_eq!(rules_of(&run(&["warehouse", "streaming"], src)), vec!["R2", "R2", "R2"]);
+        assert!(rules_of(&run(&["procsim", "kernel"], src)).is_empty());
+    }
+
+    #[test]
+    fn r3_flags_bare_arithmetic_but_exempts_literals() {
+        assert_eq!(rules_of(&run(&["tsdb", "codec"], "fn f(a: u32, b: u32) -> u32 { a + b }")), vec!["R3"]);
+        for ok in [
+            "fn f(a: u32) -> u32 { a + 1 }",
+            "fn f(a: u32) -> u32 { 64 - a }",
+            "fn f(a: u32, b: u32) -> u32 { a.wrapping_add(b) }",
+            "fn f(a: u64, w: u32) -> u64 { a << (64 - w) }",
+            "fn f(a: i64) -> i64 { -a }",
+            "fn f(a: &u32) -> u32 { *a }",
+        ] {
+            assert!(rules_of(&run(&["tsdb", "codec"], ok)).is_empty(), "{ok}");
+        }
+        let shift = "fn f(a: u64, s: u32) -> u64 { a << s }";
+        assert_eq!(rules_of(&run(&["tsdb", "codec"], shift)), vec!["R3"]);
+        assert!(rules_of(&run(&["tsdb", "wal"], shift)).is_empty(), "R3 is codec-only");
+    }
+
+    #[test]
+    fn r4_flags_lock_unwrap_and_lock_across_recv_everywhere() {
+        let src = "fn f() { let m = rx.lock().unwrap(); }";
+        assert_eq!(rules_of(&run(&["core", "pipeline"], src)), vec!["R4"]);
+        let chain = "fn f() { let msg = rx.lock().expect(\"poisoned\").recv(); }";
+        assert_eq!(rules_of(&run(&["core", "pipeline"], chain)), vec!["R4", "R4"]);
+        let ok = "fn f() { let g = rx.lock(); }";
+        assert!(rules_of(&run(&["core", "pipeline"], ok)).is_empty());
+    }
+
+    #[test]
+    fn waivers_suppress_with_reason_and_fail_without() {
+        let waived = "fn f(x: Option<u8>) -> u8 {\n    // suplint: allow(R1) -- provably Some by construction\n    x.unwrap()\n}";
+        let fs = run(&["tsdb", "db"], waived);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+
+        let trailing = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // suplint: allow(R1) -- fine";
+        assert!(rules_of(&run(&["tsdb", "db"], trailing)).is_empty());
+
+        let wrong_rule = "fn f(x: Option<u8>) -> u8 {\n    // suplint: allow(R2) -- wrong rule\n    x.unwrap()\n}";
+        assert_eq!(rules_of(&run(&["tsdb", "db"], wrong_rule)), vec!["R1"]);
+
+        let no_reason = "fn f(x: Option<u8>) -> u8 {\n    // suplint: allow(R1)\n    x.unwrap()\n}";
+        let rs = rules_of(&run(&["tsdb", "db"], no_reason));
+        assert!(rs.contains(&"W0"), "{rs:?}");
+        assert!(rs.contains(&"R1"), "an unjustified waiver suppresses nothing: {rs:?}");
+    }
+
+    #[test]
+    fn inline_mod_scoping_enters_and_leaves_zones() {
+        let src = "mod codec { fn f(a: u32, b: u32) -> u32 { a * b } }\nfn g(a: u32, b: u32) -> u32 { a * b }";
+        let fs = run(&["tsdb"], src);
+        assert_eq!(rules_of(&fs), vec!["R3"]);
+        assert_eq!(fs[0].line, 1);
+    }
+
+    #[test]
+    fn test_context_files_are_exempt() {
+        let file = SourceFile {
+            path: "crates/tsdb/tests/x.rs".into(),
+            modpath: vec!["tsdb".into(), "tests".into(), "x".into()],
+            test_context: true,
+        };
+        let fs = lint_file(&file, b"fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        assert!(fs.is_empty());
+    }
+}

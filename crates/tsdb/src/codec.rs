@@ -38,7 +38,7 @@ pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     loop {
         let &byte = buf.get(*pos)?;
         *pos += 1;
-        v |= u64::from(byte & 0x7f) << shift;
+        v |= u64::from(byte & 0x7f) << shift; // suplint: allow(R3) -- shift < 64 enforced by the bound check below
         if byte & 0x80 == 0 {
             return Some(v);
         }
@@ -186,11 +186,13 @@ fn encode_values_xor(out: &mut Vec<u8>, values: &[u64]) {
                 w.push_bit(true);
                 let lead = xor.leading_zeros().min(63);
                 let trail = xor.trailing_zeros();
-                let len = 64 - lead - trail;
-                if prev_lead != u32::MAX && lead >= prev_lead && lead + len <= prev_lead + prev_len
+                // xor != 0 guarantees lead + trail <= 63, so these cannot wrap.
+                let len = 64u32.wrapping_sub(lead).wrapping_sub(trail);
+                let prev_end = prev_lead.wrapping_add(prev_len);
+                if prev_lead != u32::MAX && lead >= prev_lead && lead.wrapping_add(len) <= prev_end
                 {
                     w.push_bit(false);
-                    w.push_bits(xor >> (64 - prev_lead - prev_len), prev_len);
+                    w.push_bits(xor >> (64 - prev_end), prev_len);
                 } else {
                     w.push_bit(true);
                     w.push_bits(lead as u64, 6);
@@ -228,11 +230,12 @@ fn decode_values_xor(buf: &[u8], pos: &mut usize, n: usize) -> Option<Vec<u64>> 
                 prev_lead = r.read_bits(6)? as u32;
                 prev_len = r.read_bits(6)? as u32 + 1;
             }
-            if prev_len == 0 || prev_lead + prev_len > 64 {
+            let window_end = prev_lead.checked_add(prev_len)?;
+            if prev_len == 0 || window_end > 64 {
                 return None;
             }
             let meaningful = r.read_bits(prev_len)?;
-            prev ^ (meaningful << (64 - prev_lead - prev_len))
+            prev ^ (meaningful << (64 - window_end))
         };
         out.push(bits);
         prev = bits;

@@ -273,9 +273,10 @@ impl SegmentReader {
         if &footer[16..] != FOOTER_MAGIC {
             return Err(corrupt(format!("{}: bad footer magic", path.display())));
         }
-        let index_offset = u64::from_le_bytes(footer[0..8].try_into().unwrap());
-        let index_len = u32::from_le_bytes(footer[8..12].try_into().unwrap()) as u64;
-        let index_crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
+        let [o0, o1, o2, o3, o4, o5, o6, o7, l0, l1, l2, l3, c0, c1, c2, c3, ..] = footer;
+        let index_offset = u64::from_le_bytes([o0, o1, o2, o3, o4, o5, o6, o7]);
+        let index_len = u32::from_le_bytes([l0, l1, l2, l3]) as u64;
+        let index_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if index_offset
             .checked_add(index_len)
             .map_or(true, |end| end != file_len - FOOTER_LEN as u64)
@@ -340,8 +341,9 @@ impl SegmentReader {
         f.seek(SeekFrom::Start(entry.offset))?;
         let mut frame = [0u8; 8];
         f.read_exact(&mut frame)?;
-        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let [l0, l1, l2, l3, c0, c1, c2, c3] = frame;
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
+        let crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if len != entry.len {
             return Err(corrupt(format!(
                 "{}: block at {} length mismatch (frame {len}, index {})",

@@ -147,9 +147,11 @@ impl Wal {
             good_end = WAL_MAGIC.len() as u64;
             let mut pos = WAL_MAGIC.len();
             loop {
-                let Some(frame) = buf.get(pos..pos + 8) else { break };
-                let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
-                let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+                let Some(&[l0, l1, l2, l3, c0, c1, c2, c3]) = buf.get(pos..pos + 8) else {
+                    break;
+                };
+                let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+                let crc = u32::from_le_bytes([c0, c1, c2, c3]);
                 let Some(payload) = buf.get(pos + 8..pos + 8 + len) else { break };
                 if crc32(payload) != crc {
                     break;

@@ -113,6 +113,7 @@ pub(crate) fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, BinError> {
 }
 
 fn class_id(c: DeviceClass) -> u8 {
+    // suplint: allow(R1) -- DeviceClass::ALL lists every variant; position cannot miss
     DeviceClass::ALL.iter().position(|&x| x == c).expect("member") as u8
 }
 
@@ -213,8 +214,10 @@ pub fn decode(buf: &[u8]) -> Result<ParsedFile, BinError> {
         return Err(BinError::BadMagic);
     }
     pos += 4;
-    let version =
-        u16::from_le_bytes(buf.get(4..6).ok_or(BinError::Truncated)?.try_into().unwrap());
+    let version = match buf.get(4..6) {
+        Some(&[a, b]) => u16::from_le_bytes([a, b]),
+        _ => return Err(BinError::Truncated),
+    };
     if version != VERSION {
         return Err(BinError::BadVersion(version));
     }

@@ -8,7 +8,7 @@
 //! by time-window joins against the accounting log — the ablation bench
 //! measures what that buys.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use supremm_metrics::metric::KeyMetricVec;
 use supremm_metrics::{ExtendedMetric, JobId, KeyMetric};
@@ -88,6 +88,13 @@ pub struct IngestStats {
     /// Contiguous corrupt regions across all files — the archive-wide
     /// coverage-gap count.
     pub gaps: usize,
+    /// Ingest worker threads that panicked mid-file (the file is
+    /// quarantined whole and the pool keeps running).
+    pub worker_panics: usize,
+    /// Files handed to the ingest pool that never produced a partial —
+    /// a send that found every worker dead, or a worker that died with
+    /// files still queued. Always 0 on a healthy run.
+    pub files_lost: usize,
 }
 
 impl IngestStats {
@@ -129,12 +136,12 @@ pub fn ingest_with_series(
 /// logs. Shared tail of every ingest path; fills the job-level fields
 /// of `stats`.
 pub(crate) fn assemble_jobs(
-    mut jobs: HashMap<JobId, JobFragment>,
+    mut jobs: BTreeMap<JobId, JobFragment>,
     accounting: &[AccountingRecord],
     lariat: &[LariatRecord],
     stats: &mut IngestStats,
 ) -> Vec<JobRecord> {
-    let lariat_by_job: HashMap<JobId, &LariatRecord> =
+    let lariat_by_job: BTreeMap<JobId, &LariatRecord> =
         lariat.iter().map(|l| (l.job, l)).collect();
     let mut seen_in_raw = jobs.len();
 

@@ -24,6 +24,7 @@ use crate::record::{ExitKind, JobRecord};
 const VERSION: u8 = 1;
 
 fn science_id(s: ScienceField) -> u8 {
+    // suplint: allow(R1) -- ScienceField::ALL lists every variant; position cannot miss
     ScienceField::ALL.iter().position(|&x| x == s).expect("member") as u8
 }
 
@@ -65,9 +66,11 @@ pub fn encode(r: &JobRecord) -> Vec<u8> {
 
 fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, BinError> {
     let end = pos.checked_add(8).ok_or(BinError::Truncated)?;
-    let bytes = buf.get(*pos..end).ok_or(BinError::Truncated)?;
+    let &[a, b, c, d, e, f, g, h] = buf.get(*pos..end).ok_or(BinError::Truncated)? else {
+        return Err(BinError::Truncated);
+    };
     *pos = end;
-    Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap())))
+    Ok(f64::from_bits(u64::from_le_bytes([a, b, c, d, e, f, g, h])))
 }
 
 fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, BinError> {

@@ -10,7 +10,7 @@
 //! the final cross-file merge happens sequentially in key order —
 //! byte-identical output regardless of arrival order or thread count.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rayon::prelude::*;
 
@@ -68,7 +68,7 @@ pub struct FilePartial {
     pub bytes_clean: u64,
     /// Contiguous corrupt regions — the per-file coverage-gap count.
     pub gaps: usize,
-    pub(crate) frags: HashMap<JobId, JobFragment>,
+    pub(crate) frags: BTreeMap<JobId, JobFragment>,
     pub(crate) bins: BTreeMap<u64, SystemBin>,
 }
 
@@ -209,6 +209,13 @@ impl StreamAccumulator {
         self.partials.insert(key, consume_file(text, self.opts));
     }
 
+    /// Record a file that never got a clean parse — e.g. its ingest
+    /// worker panicked mid-file — as rejected outright: every byte
+    /// quarantined, nothing else trusted.
+    pub fn quarantine(&mut self, key: RawFileKey, bytes: u64) {
+        self.partials.insert(key, FilePartial::rejected(bytes));
+    }
+
     /// Union two accumulators (disjoint file keys). Associative and
     /// commutative, so it serves as the rayon reduce operator.
     pub fn absorb(self, other: StreamAccumulator) -> StreamAccumulator {
@@ -238,7 +245,7 @@ impl StreamAccumulator {
     /// accounting and Lariat logs.
     pub fn finish(self, accounting: &[AccountingRecord], lariat: &[LariatRecord]) -> StreamOutput {
         let mut stats = IngestStats::default();
-        let mut jobs: HashMap<JobId, JobFragment> = HashMap::new();
+        let mut jobs: BTreeMap<JobId, JobFragment> = BTreeMap::new();
         let mut merged: BTreeMap<u64, SystemBin> = BTreeMap::new();
         for partial in self.partials.into_values() {
             stats.files += 1;

@@ -31,8 +31,55 @@ pub const SYSTEM_HOST: &str = "_sys";
 /// Pseudo-host for store metadata.
 pub const META_HOST: &str = "_meta";
 
-/// The 16 system-bin fields, in struct order. Each maps one series
-/// metric name to its getter and setter.
+/// One system-bin field: its series metric name bound to a getter and
+/// setter, so lookups can fail softly instead of hitting a match-arm
+/// `unreachable!` when the store holds a metric this build never wrote.
+struct SystemField {
+    name: &'static str,
+    get: fn(&SystemBin) -> f64,
+    set: fn(&mut SystemBin, f64),
+}
+
+const FIELDS: [SystemField; 16] = [
+    SystemField {
+        name: "active_nodes",
+        get: |b| b.active_nodes as f64,
+        set: |b, v| b.active_nodes = v as u32,
+    },
+    SystemField {
+        name: "busy_nodes",
+        get: |b| b.busy_nodes as f64,
+        set: |b, v| b.busy_nodes = v as u32,
+    },
+    SystemField { name: "intervals", get: |b| b.intervals as f64, set: |b, v| b.intervals = v as u32 },
+    SystemField { name: "flops", get: |b| b.flops, set: |b, v| b.flops = v },
+    SystemField { name: "mem_used_bytes", get: |b| b.mem_used_bytes, set: |b, v| b.mem_used_bytes = v },
+    SystemField { name: "cpu_user_sum", get: |b| b.cpu_user_sum, set: |b, v| b.cpu_user_sum = v },
+    SystemField { name: "cpu_system_sum", get: |b| b.cpu_system_sum, set: |b, v| b.cpu_system_sum = v },
+    SystemField { name: "cpu_idle_sum", get: |b| b.cpu_idle_sum, set: |b, v| b.cpu_idle_sum = v },
+    SystemField {
+        name: "scratch_write_bps",
+        get: |b| b.scratch_write_bps,
+        set: |b, v| b.scratch_write_bps = v,
+    },
+    SystemField {
+        name: "scratch_read_bps",
+        get: |b| b.scratch_read_bps,
+        set: |b, v| b.scratch_read_bps = v,
+    },
+    SystemField { name: "work_write_bps", get: |b| b.work_write_bps, set: |b, v| b.work_write_bps = v },
+    SystemField { name: "work_read_bps", get: |b| b.work_read_bps, set: |b, v| b.work_read_bps = v },
+    SystemField {
+        name: "share_write_bps",
+        get: |b| b.share_write_bps,
+        set: |b, v| b.share_write_bps = v,
+    },
+    SystemField { name: "share_read_bps", get: |b| b.share_read_bps, set: |b, v| b.share_read_bps = v },
+    SystemField { name: "ib_tx_bps", get: |b| b.ib_tx_bps, set: |b, v| b.ib_tx_bps = v },
+    SystemField { name: "lnet_tx_bps", get: |b| b.lnet_tx_bps, set: |b, v| b.lnet_tx_bps = v },
+];
+
+/// The 16 system-bin field names, in struct order (mirrors [`FIELDS`]).
 pub const SYSTEM_FIELDS: [&str; 16] = [
     "active_nodes",
     "busy_nodes",
@@ -52,58 +99,14 @@ pub const SYSTEM_FIELDS: [&str; 16] = [
     "lnet_tx_bps",
 ];
 
-fn field_get(bin: &SystemBin, field: &str) -> f64 {
-    match field {
-        "active_nodes" => bin.active_nodes as f64,
-        "busy_nodes" => bin.busy_nodes as f64,
-        "intervals" => bin.intervals as f64,
-        "flops" => bin.flops,
-        "mem_used_bytes" => bin.mem_used_bytes,
-        "cpu_user_sum" => bin.cpu_user_sum,
-        "cpu_system_sum" => bin.cpu_system_sum,
-        "cpu_idle_sum" => bin.cpu_idle_sum,
-        "scratch_write_bps" => bin.scratch_write_bps,
-        "scratch_read_bps" => bin.scratch_read_bps,
-        "work_write_bps" => bin.work_write_bps,
-        "work_read_bps" => bin.work_read_bps,
-        "share_write_bps" => bin.share_write_bps,
-        "share_read_bps" => bin.share_read_bps,
-        "ib_tx_bps" => bin.ib_tx_bps,
-        "lnet_tx_bps" => bin.lnet_tx_bps,
-        _ => unreachable!("unknown system field {field}"),
-    }
-}
-
-fn field_set(bin: &mut SystemBin, field: &str, v: f64) {
-    match field {
-        "active_nodes" => bin.active_nodes = v as u32,
-        "busy_nodes" => bin.busy_nodes = v as u32,
-        "intervals" => bin.intervals = v as u32,
-        "flops" => bin.flops = v,
-        "mem_used_bytes" => bin.mem_used_bytes = v,
-        "cpu_user_sum" => bin.cpu_user_sum = v,
-        "cpu_system_sum" => bin.cpu_system_sum = v,
-        "cpu_idle_sum" => bin.cpu_idle_sum = v,
-        "scratch_write_bps" => bin.scratch_write_bps = v,
-        "scratch_read_bps" => bin.scratch_read_bps = v,
-        "work_write_bps" => bin.work_write_bps = v,
-        "work_read_bps" => bin.work_read_bps = v,
-        "share_write_bps" => bin.share_write_bps = v,
-        "share_read_bps" => bin.share_read_bps = v,
-        "ib_tx_bps" => bin.ib_tx_bps = v,
-        "lnet_tx_bps" => bin.lnet_tx_bps = v,
-        _ => unreachable!("unknown system field {field}"),
-    }
-}
-
 /// Append a [`SystemSeries`] into the store (one series per bin field,
 /// plus binning metadata). Call [`Tsdb::sync`] or [`Tsdb::flush`] after.
 pub fn store_system_series(db: &mut Tsdb, series: &SystemSeries) -> io::Result<()> {
     db.append(META_HOST, "bin_secs", 0, series.bin_secs as f64)?;
-    for field in SYSTEM_FIELDS {
+    for field in &FIELDS {
         let samples: Vec<(u64, f64)> =
-            series.bins.iter().map(|b| (b.ts.0, field_get(b, field))).collect();
-        db.append_batch(SYSTEM_HOST, field, &samples)?;
+            series.bins.iter().map(|b| (b.ts.0, (field.get)(b))).collect();
+        db.append_batch(SYSTEM_HOST, field.name, &samples)?;
     }
     Ok(())
 }
@@ -118,10 +121,13 @@ pub fn load_system_series(db: &Tsdb) -> Result<SystemSeries, TsdbError> {
         .unwrap_or(0);
     let mut bins: BTreeMap<u64, SystemBin> = BTreeMap::new();
     for (key, samples) in db.query(&Selector::host(SYSTEM_HOST), 0, u64::MAX)? {
+        // A metric this build does not know (written by a newer schema,
+        // or a stray series under `_sys`) is skipped, not fatal.
+        let Some(field) = FIELDS.iter().find(|f| f.name == key.metric) else { continue };
         for (ts, v) in samples {
             let bin = bins.entry(ts).or_default();
             bin.ts = Timestamp(ts);
-            field_set(bin, &key.metric, v);
+            (field.set)(bin, v);
         }
     }
     Ok(SystemSeries { bin_secs, bins: into_sorted_bins(bins) })
@@ -204,6 +210,27 @@ mod tests {
             }
         }
         archive
+    }
+
+    #[test]
+    fn system_fields_mirror_the_field_table() {
+        for (i, field) in FIELDS.iter().enumerate() {
+            assert_eq!(SYSTEM_FIELDS[i], field.name);
+        }
+    }
+
+    #[test]
+    fn unknown_system_metric_is_ignored_not_fatal() {
+        let dir = tmpdir("unknownmetric");
+        let series = SystemSeries::from_archive(&archive(), 600);
+        let mut db = Tsdb::open(&dir).unwrap();
+        store_system_series(&mut db, &series).unwrap();
+        // A future schema writes a metric this build has no field for.
+        db.append(SYSTEM_HOST, "gpu_util_sum", 600, 0.5).unwrap();
+        db.flush().unwrap();
+        let loaded = load_system_series(&db).unwrap();
+        assert_eq!(loaded.bins, series.bins);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -92,16 +92,33 @@ fn parse_statistic(s: &str, metric: Option<&str>) -> Option<Statistic> {
 }
 
 /// Split a target like `/v1/query?a=b&c=d` into path and query pairs.
-fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
-    match target.split_once('?') {
-        None => (target, Vec::new()),
-        Some((path, qs)) => (
-            path,
-            qs.split('&')
-                .filter_map(|kv| kv.split_once('='))
-                .collect(),
-        ),
+/// A non-empty query segment without `=` is malformed: the client gets
+/// a 400, not a silently dropped parameter.
+fn split_target(target: &str) -> Result<(&str, Vec<(&str, &str)>), String> {
+    let Some((path, qs)) = target.split_once('?') else {
+        return Ok((target, Vec::new()));
+    };
+    let mut params = Vec::new();
+    for kv in qs.split('&') {
+        if kv.is_empty() {
+            continue;
+        }
+        match kv.split_once('=') {
+            Some((k, v)) => params.push((k, v)),
+            None => return Err(format!("malformed query parameter {kv:?}")),
+        }
     }
+    Ok((path, params))
+}
+
+/// First query key not in the endpoint's allowlist, as a 400 message.
+/// A typo'd parameter silently ignored would return a confidently wrong
+/// answer (e.g. `metrc=` falling back to the full result set).
+fn unknown_param(params: &[(&str, &str)], allowed: &[&str]) -> Option<String> {
+    params
+        .iter()
+        .find(|(k, _)| !allowed.contains(k))
+        .map(|(k, _)| format!("unknown query parameter {k:?}"))
 }
 
 fn parse_agg(s: &str) -> Option<Agg> {
@@ -135,7 +152,10 @@ pub fn handle_with_store(
     if method != "GET" {
         return Response::error(400, "only GET is supported");
     }
-    let (path, params) = split_target(target);
+    let (path, params) = match split_target(target) {
+        Ok(split) => split,
+        Err(msg) => return Response::error(400, &msg),
+    };
     let get = |key: &str| params.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
     match path {
         "/healthz" => Response::json(200, "{\"status\":\"ok\"}".into()),
@@ -153,6 +173,10 @@ pub fn handle_with_store(
             )
         }
         "/v1/query" => {
+            if let Some(msg) = unknown_param(&params, &["dimension", "statistic", "metric", "top"])
+            {
+                return Response::error(400, &msg);
+            }
             let Some(dimension) = get("dimension").and_then(parse_dimension) else {
                 return Response::error(400, "missing/unknown dimension");
             };
@@ -161,13 +185,25 @@ pub fn handle_with_store(
             else {
                 return Response::error(400, "missing/unknown statistic (or metric)");
             };
+            let top = match get("top") {
+                None => None,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => Some(n),
+                    Err(_) => return Response::error(400, "top must be an unsigned integer"),
+                },
+            };
             let mut ds = run(table, &Query { dimension, statistic, filters: vec![] });
-            if let Some(n) = get("top").and_then(|v| v.parse::<usize>().ok()) {
+            if let Some(n) = top {
                 ds.rows.truncate(n);
             }
             Response::json(200, ds.to_json())
         }
         "/v1/series" => {
+            if let Some(msg) =
+                unknown_param(&params, &["host", "metric", "t0", "t1", "bin", "agg"])
+            {
+                return Response::error(400, &msg);
+            }
             let Some(db) = store else {
                 return Response::error(404, "no time-series store attached");
             };
@@ -344,6 +380,29 @@ mod tests {
             handle(&t, "GET /v1/query?dimension=bogus&statistic=job_count HTTP/1.0").status,
             400
         );
+    }
+
+    #[test]
+    fn garbage_query_strings_get_a_4xx() {
+        let t = table();
+        for bad in [
+            // Query segment with no `=` at all.
+            "GET /v1/series?garbage HTTP/1.0",
+            "GET /v1/query?dimension HTTP/1.0",
+            // Keys no endpoint knows — a typo must not silently widen
+            // the result set.
+            "GET /v1/series?nosuchparam=1 HTTP/1.0",
+            "GET /v1/query?dimension=user&statistic=job_count&metrc=cpu_idle HTTP/1.0",
+            // Well-known key, junk value.
+            "GET /v1/query?dimension=user&statistic=job_count&top=abc HTTP/1.0",
+            "GET /v1/query?dimension=user&statistic=job_count&top=-1 HTTP/1.0",
+        ] {
+            let r = handle(&t, bad);
+            assert_eq!(r.status, 400, "{bad} -> {}", r.body);
+        }
+        // Empty segments (trailing `&`) are tolerated, not errors.
+        let ok = handle(&t, "GET /v1/query?dimension=user&statistic=job_count& HTTP/1.0");
+        assert_eq!(ok.status, 200, "{}", ok.body);
     }
 
     #[test]
