@@ -11,9 +11,12 @@
 //!
 //! `--bench-json` additionally writes `BENCH_pipeline.json` with the
 //! end-to-end pipeline timings (wall seconds, raw MB, MB/s, peak-RSS
-//! proxy) and `BENCH_tsdb.json` with the storage-engine numbers
+//! proxy), `BENCH_tsdb.json` with the storage-engine numbers
 //! (compression ratio vs. the raw binfmt encoding, encode and scan
-//! throughput) so runs can be compared across revisions.
+//! throughput), and `BENCH_query.json` with the query-path numbers
+//! (series-indexed reads vs. the naive full decode, pre-aggregated
+//! downsampling, and `/v1/series` served cold vs. from the response
+//! cache) so runs can be compared across revisions.
 //!
 //! `--store-dir DIR` flushes each machine's products through the `tsdb`
 //! storage engine rooted at `DIR/<machine>` (series store + segment job
@@ -253,6 +256,241 @@ fn write_tsdb_bench(
     std::fs::write("BENCH_tsdb.json", s)
 }
 
+/// Seconds per iteration, with the repetition count sized from a single
+/// timed warm-up run so fast paths get enough reps to measure.
+fn secs_per_iter(mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64();
+    let reps = ((0.3 / once.max(1e-9)) as u64).clamp(3, 2000) as u32;
+    let t1 = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t1.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+/// One keep-alive HTTP request; returns the body length.
+fn http_fetch(stream: &mut std::net::TcpStream, target: &str) -> std::io::Result<usize> {
+    use std::io::{Read, Write};
+    // One write_all per request: interleaved small writes with Nagle on
+    // stall each exchange on the peer's delayed ACK.
+    let req = format!("GET {target} HTTP/1.1\r\nHost: repro\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let header_end = loop {
+        if let Some(ix) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break ix;
+        }
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_ascii_lowercase();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    Ok(content_length)
+}
+
+/// Query-path benchmark: a synthetic 64-host x 8-metric fortnight store
+/// (segment-resident), timing the series-indexed read path against the
+/// naive decode-everything oracle, pre-aggregated downsampling at three
+/// bin widths, and `/v1/series` over a live socket cold vs. cached.
+fn write_query_bench(root: &std::path::Path) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    use std::hint::black_box;
+    use supremm_warehouse::tsdb::{Agg, DbOptions, Selector, Tsdb};
+
+    const HOSTS: usize = 64;
+    const METRICS: [&str; 8] = [
+        "cpu_user", "cpu_system", "cpu_idle", "mem_used", "net_rx", "net_tx", "ib_rx", "flops",
+    ];
+    const SAMPLES_PER_SERIES: u64 = 2016; // 14 days at 600 s cadence
+    const STEP_SECS: u64 = 600;
+    const SPAN_SECS: u64 = SAMPLES_PER_SERIES * STEP_SECS;
+
+    let io_err = |e: supremm_warehouse::tsdb::TsdbError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    };
+    let dir = root.join("querybench");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let mut db =
+        Tsdb::open_with(&dir, DbOptions { chunk_samples: 128, block_chunks: 64 }).map_err(io_err)?;
+    for h in 0..HOSTS {
+        let host = format!("c{h:03}");
+        for (m, metric) in METRICS.iter().enumerate() {
+            let base = (h * 31 + m * 7) as f64;
+            let samples: Vec<(u64, f64)> = (0..SAMPLES_PER_SERIES)
+                .map(|i| (i * STEP_SECS, base + (i as f64 * 0.01).sin()))
+                .collect();
+            db.append_batch(&host, metric, &samples)?;
+        }
+    }
+    db.flush().map_err(io_err)?;
+    let total_samples = HOSTS as u64 * METRICS.len() as u64 * SAMPLES_PER_SERIES;
+    eprintln!(
+        "[repro] query bench store: {total_samples} samples across {} series",
+        HOSTS * METRICS.len()
+    );
+
+    let one = Selector { host: Some("c042".into()), metric: Some("cpu_user".into()) };
+    let all = Selector::all();
+
+    let point_indexed = secs_per_iter(|| {
+        if let Ok(r) = db.query(&one, 600_000, 600_000) {
+            black_box(r.len());
+        }
+    });
+    let point_naive = secs_per_iter(|| {
+        if let Ok(r) = db.query_naive(&one, 600_000, 600_000) {
+            black_box(r.len());
+        }
+    });
+    let sel_indexed = secs_per_iter(|| {
+        if let Ok(r) = db.query(&one, 0, u64::MAX) {
+            black_box(r.len());
+        }
+    });
+    let sel_naive = secs_per_iter(|| {
+        if let Ok(r) = db.query_naive(&one, 0, u64::MAX) {
+            black_box(r.len());
+        }
+    });
+
+    let mut bins = String::new();
+    let mut wide = (0.0f64, 0.0f64); // (preagg, naive) at the week bin
+    for (i, bin) in [3_600u64, 86_400, 604_800].into_iter().enumerate() {
+        let preagg = secs_per_iter(|| {
+            if let Ok(r) = db.downsample(&all, 0, u64::MAX, bin, Agg::Max) {
+                black_box(r.len());
+            }
+        });
+        let naive = secs_per_iter(|| {
+            if let Ok(r) = db.downsample_naive(&all, 0, u64::MAX, bin, Agg::Max) {
+                black_box(r.len());
+            }
+        });
+        if bin == 604_800 {
+            wide = (preagg, naive);
+        }
+        let _ = write!(
+            bins,
+            "{}    {{\"bin_secs\": {bin}, \"agg\": \"max\", \"preagg_secs\": {preagg:.9}, \
+             \"naive_secs\": {naive:.9}, \"speedup\": {:.2}}}",
+            if i == 0 { "" } else { ",\n" },
+            naive / preagg.max(1e-12),
+        );
+    }
+
+    // Serve layer: real sockets against the pooled keep-alive server.
+    // Distinct `t1` values force response-cache misses; the repeated
+    // request is answered from the cache. Request counts stay below the
+    // per-connection rotation cap so one connection serves them all.
+    let table = supremm_warehouse::JobTable::new(Vec::new());
+    let lock = std::sync::RwLock::new(db);
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let opts = supremm_xdmod::serve::ServeOptions::default();
+    let served: std::io::Result<(f64, f64)> = std::thread::scope(|s| {
+        s.spawn(|| {
+            let _ = supremm_xdmod::serve::serve_shared(
+                &table,
+                Some(&lock),
+                listener,
+                &shutdown,
+                &opts,
+            );
+        });
+        let run = || -> std::io::Result<(f64, f64)> {
+            let mut stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            let cold_target = |n: u64| {
+                format!("/v1/series?host=c042&metric=cpu_user&t1={}&bin=86400&agg=max", SPAN_SECS + n)
+            };
+            http_fetch(&mut stream, &cold_target(0))?; // warm the connection
+            let t0 = std::time::Instant::now();
+            for n in 1..=32u64 {
+                http_fetch(&mut stream, &cold_target(n))?;
+            }
+            let cold = t0.elapsed().as_secs_f64() / 32.0;
+            let warm_target = "/v1/series?host=c042&metric=cpu_user&bin=86400&agg=max";
+            http_fetch(&mut stream, warm_target)?; // populate the cache
+            let t1 = std::time::Instant::now();
+            for _ in 0..128 {
+                http_fetch(&mut stream, warm_target)?;
+            }
+            Ok((cold, t1.elapsed().as_secs_f64() / 128.0))
+        };
+        let r = run();
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        r
+    });
+    let (serve_cold, serve_cached) = served?;
+
+    eprintln!(
+        "[repro] query bench: point {:.1}x, selective {:.1}x, wide downsample {:.1}x, \
+         serve cached {:.1}x",
+        point_naive / point_indexed.max(1e-12),
+        sel_naive / sel_indexed.max(1e-12),
+        wide.1 / wide.0.max(1e-12),
+        serve_cold / serve_cached.max(1e-12),
+    );
+
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"store\": {{\"hosts\": {HOSTS}, \"metrics\": {}, \
+         \"samples_per_series\": {SAMPLES_PER_SERIES}, \"total_samples\": {total_samples}}},",
+        METRICS.len()
+    );
+    let _ = writeln!(
+        s,
+        "  \"point_lookup\": {{\"indexed_secs\": {point_indexed:.9}, \
+         \"naive_secs\": {point_naive:.9}, \"speedup\": {:.2}}},",
+        point_naive / point_indexed.max(1e-12)
+    );
+    let _ = writeln!(
+        s,
+        "  \"selective_query\": {{\"indexed_secs\": {sel_indexed:.9}, \
+         \"naive_secs\": {sel_naive:.9}, \"speedup\": {:.2}}},",
+        sel_naive / sel_indexed.max(1e-12)
+    );
+    let _ = writeln!(
+        s,
+        "  \"wide_downsample\": {{\"bin_secs\": 604800, \"agg\": \"max\", \
+         \"preagg_secs\": {:.9}, \"naive_secs\": {:.9}, \"speedup\": {:.2}}},",
+        wide.0,
+        wide.1,
+        wide.1 / wide.0.max(1e-12)
+    );
+    let _ = writeln!(s, "  \"downsample\": [\n{bins}\n  ],");
+    let _ = writeln!(
+        s,
+        "  \"serve\": {{\"cold_secs_per_request\": {serve_cold:.9}, \
+         \"cached_secs_per_request\": {serve_cached:.9}, \"speedup\": {:.2}}}",
+        serve_cold / serve_cached.max(1e-12)
+    );
+    s.push_str("}\n");
+    std::fs::write("BENCH_query.json", s)
+}
+
 fn main() {
     let args = parse_args();
     let mut ranger_cfg = ClusterConfig::ranger().scaled(args.nodes, args.days);
@@ -305,6 +543,10 @@ fn main() {
         match write_tsdb_bench(&[("ranger", &ranger), ("lonestar4", &ls4)], &bench_root) {
             Ok(()) => eprintln!("[repro] wrote BENCH_tsdb.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_tsdb.json: {e}"),
+        }
+        match write_query_bench(&bench_root) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_query.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_query.json: {e}"),
         }
     }
 

@@ -250,10 +250,10 @@ fn serve_cmd(args: &[String]) {
     // Attach the time-series store when the dump has one.
     let store_dir = dir.join("store").join("series");
     let store = if store_dir.is_dir() {
-        Some(
+        Some(std::sync::RwLock::new(
             supremm_warehouse::tsdb::Tsdb::open(&store_dir)
                 .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}"))),
-        )
+        ))
     } else {
         None
     };
@@ -265,7 +265,8 @@ fn serve_cmd(args: &[String]) {
         if store.is_some() { " + time-series store" } else { "" }
     );
     let shutdown = std::sync::atomic::AtomicBool::new(false);
-    supremm_xdmod::serve::serve_with_store(&table, store.as_ref(), listener, &shutdown)
+    let opts = supremm_xdmod::serve::ServeOptions::default();
+    supremm_xdmod::serve::serve_shared(&table, store.as_ref(), listener, &shutdown, &opts)
         .unwrap_or_else(|e| die(&format!("serve: {e}")));
 }
 

@@ -57,6 +57,8 @@ pub const R2_ZONES: &[&str] = &[
     "core::experiments",
     "xdmod",
     "metrics::json",
+    "tsdb::db",
+    "tsdb::segment",
 ];
 
 /// Bit-exact codec arithmetic.

@@ -6,24 +6,41 @@
 //! resets the WAL. [`Tsdb::compact`] merges all sealed segments into
 //! one.
 //!
-//! Read path: a query merges segments oldest-first, then the memtable on
-//! top — later writes win per `(series, timestamp)`. That makes
-//! compaction and crash-leftover segments (a compacted segment sealed
-//! but its inputs not yet deleted) both idempotent: re-merging identical
-//! samples changes nothing.
+//! Read path: every sealed segment contributes one sorted run per
+//! matching series (v2 segments locate those runs through their
+//! per-series chunk index and decode *only* the matching chunks; v1
+//! segments fall back to decoding whole blocks), the memtable
+//! contributes the highest-priority run, and a k-way last-write-wins
+//! merge combines them — later runs win per `(series, timestamp)`.
+//! That makes compaction and crash-leftover segments (a compacted
+//! segment sealed but its inputs not yet deleted) both idempotent:
+//! re-merging identical samples changes nothing.
+//!
+//! [`Tsdb::downsample`] goes one step further: when a bin fully covers
+//! a chunk, it folds the chunk's pre-computed statistics
+//! ([`crate::stats::ChunkStats`]) straight into the bin and never
+//! decompresses the chunk. The result is bit-identical to the naive
+//! decode-everything path ([`Tsdb::downsample_naive`]) — both paths run
+//! the same [`BinAcc`] arithmetic, and the fold is only taken where the
+//! sequential-sum prefix rule allows it.
+//!
+//! The slow reference implementations ([`Tsdb::query_naive`],
+//! [`Tsdb::downsample_naive`]) are kept public as differential-test
+//! oracles and benchmark baselines.
 //!
 //! Crash recovery = [`Tsdb::open`]: scan `seg-*.tsdb` (ignoring
 //! `*.tmp` leftovers), open the WAL (which truncates any torn tail), and
 //! replay surviving WAL records into the memtable.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::segment::{
-    SegmentReader, SegmentWriter, TsdbError, KIND_SERIES,
+    ChunkRef, SegmentReader, SegmentWriter, SeriesEntry, TsdbError, KIND_SERIES,
 };
+use crate::stats::BinAcc;
 use crate::wal::{Wal, WalRecord};
 
 /// Identity of one series: a (host, metric) pair.
@@ -79,14 +96,23 @@ pub enum Agg {
 }
 
 impl Agg {
-    fn fold(self, samples: &[(u64, f64)]) -> f64 {
+    /// Sum/Mean read the sequential f64 sum, which only decomposes at
+    /// prefix boundaries — chunk folds for them require an empty bin.
+    fn needs_sequential_sum(self) -> bool {
+        matches!(self, Agg::Sum | Agg::Mean)
+    }
+
+    /// Extract this aggregate's value from a finished bin. Both the
+    /// naive and the pre-aggregated path end here, which is what makes
+    /// them bit-identical.
+    fn finish(self, acc: &BinAcc) -> f64 {
         match self {
-            Agg::Mean => samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64,
-            Agg::Sum => samples.iter().map(|&(_, v)| v).sum(),
-            Agg::Min => samples.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min),
-            Agg::Max => samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max),
-            Agg::Last => samples.last().map(|&(_, v)| v).unwrap_or(f64::NAN),
-            Agg::Count => samples.len() as f64,
+            Agg::Mean => acc.sum / acc.count as f64,
+            Agg::Sum => acc.sum,
+            Agg::Min => acc.min,
+            Agg::Max => acc.max,
+            Agg::Last => acc.last,
+            Agg::Count => acc.count as f64,
         }
     }
 }
@@ -110,6 +136,9 @@ impl Default for DbOptions {
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
     pub segments: usize,
+    /// Segments carrying a v2 per-series chunk index (the rest are
+    /// read-shim v1 files that force the block-decode fallback).
+    pub indexed_segments: usize,
     pub segment_bytes: u64,
     pub wal_bytes: u64,
     pub mem_series: usize,
@@ -129,6 +158,8 @@ pub struct Tsdb {
     segments: Vec<(u64, SegmentReader)>, // (seq, reader), ascending seq
     next_seq: u64,
     opts: DbOptions,
+    /// Bumped on every mutation; serve-layer caches key on this.
+    generation: u64,
     recovered_samples: u64,
     recovered_truncated_bytes: u64,
 }
@@ -137,6 +168,141 @@ fn seg_seq(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
     let num = name.strip_prefix("seg-")?.strip_suffix(".tsdb")?;
     num.parse().ok()
+}
+
+/// Ensure a decoded run is strictly ascending in time; if not (foreign
+/// or hand-built segments), stable-sort and keep the **last** occurrence
+/// per timestamp — the same answer inserting the run into a map in
+/// order would give.
+fn normalize_run(run: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    let sorted = run.windows(2).all(|w| match w {
+        [a, b] => a.0 < b.0,
+        _ => true,
+    });
+    if sorted {
+        return run;
+    }
+    let mut keyed: Vec<(usize, (u64, u64))> = run.into_iter().enumerate().collect();
+    keyed.sort_by(|a, b| (a.1 .0, a.0).cmp(&(b.1 .0, b.0)));
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(keyed.len());
+    for (_, (ts, bits)) in keyed {
+        match out.last_mut() {
+            Some(last) if last.0 == ts => last.1 = bits,
+            _ => out.push((ts, bits)),
+        }
+    }
+    out
+}
+
+/// k-way last-write-wins merge of strictly-ascending runs. On equal
+/// timestamps the run with the **highest index** wins — callers order
+/// runs oldest-segment-first with the memtable last.
+fn merge_runs(mut runs: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    runs.retain(|r| !r.is_empty());
+    if runs.len() <= 1 {
+        return runs.pop().unwrap_or_default();
+    }
+    let mut pos = vec![0usize; runs.len()];
+    let total = runs.iter().map(|r| r.len()).sum();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(total);
+    loop {
+        let mut best_ts = u64::MAX;
+        let mut exhausted = true;
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(&(ts, _)) = run.get(pos[i]) {
+                exhausted = false;
+                if ts < best_ts {
+                    best_ts = ts;
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+        let mut bits = 0u64;
+        for (i, run) in runs.iter().enumerate() {
+            if let Some(&(ts, b)) = run.get(pos[i]) {
+                if ts == best_ts {
+                    bits = b; // later runs overwrite: highest index wins
+                    pos[i] += 1;
+                }
+            }
+        }
+        out.push((best_ts, bits));
+    }
+    out
+}
+
+/// Series entries matching `sel`, using the index's `(host, metric)`
+/// sort order to binary-search the host range when one is given.
+fn matching_entries<'a>(idx: &'a [SeriesEntry], sel: &Selector) -> Vec<&'a SeriesEntry> {
+    let slice = match sel.host.as_deref() {
+        Some(h) => {
+            let lo = idx.partition_point(|e| e.host.as_str() < h);
+            let hi = lo + idx[lo..].partition_point(|e| e.host.as_str() <= h);
+            idx.get(lo..hi).unwrap_or(&[])
+        }
+        None => idx,
+    };
+    slice
+        .iter()
+        .filter(|e| sel.metric.as_deref().map_or(true, |m| m == e.metric))
+        .collect()
+}
+
+/// Bin one merged sample stream; shared by every downsampling path.
+fn bin_samples(samples: &[(u64, f64)], bin_secs: u64, agg: Agg) -> Vec<(u64, f64)> {
+    let mut bins: BTreeMap<u64, BinAcc> = BTreeMap::new();
+    for &(ts, v) in samples {
+        bins.entry(ts / bin_secs * bin_secs).or_default().add(v);
+    }
+    bins.into_iter().map(|(start, acc)| (start, agg.finish(&acc))).collect()
+}
+
+fn bin_series(
+    series: Vec<(SeriesKey, Vec<(u64, f64)>)>,
+    bin_secs: u64,
+    agg: Agg,
+) -> Vec<(SeriesKey, Vec<(u64, f64)>)> {
+    series
+        .into_iter()
+        .map(|(key, samples)| {
+            let binned = bin_samples(&samples, bin_secs, agg);
+            (key, binned)
+        })
+        .collect()
+}
+
+/// Seal one key→samples map into `seg-{seq:06}.tsdb`. Chunks are
+/// borrowed straight out of the materialized per-series vectors — no
+/// per-chunk copy is made on the way into the encoder.
+fn write_segment(
+    dir: &Path,
+    seq: u64,
+    data: &BTreeMap<SeriesKey, BTreeMap<u64, u64>>,
+    opts: &DbOptions,
+) -> Result<SegmentReader, TsdbError> {
+    let mut writer = SegmentWriter::new(KIND_SERIES);
+    let flat: Vec<(&SeriesKey, Vec<(u64, u64)>)> = data
+        .iter()
+        .map(|(key, series)| (key, series.iter().map(|(&ts, &b)| (ts, b)).collect()))
+        .collect();
+    let mut block: Vec<(&str, &str, &[(u64, u64)])> = Vec::new();
+    for (key, samples) in &flat {
+        for chunk in samples.chunks(opts.chunk_samples.max(1)) {
+            block.push((key.host.as_str(), key.metric.as_str(), chunk));
+            if block.len() >= opts.block_chunks.max(1) {
+                writer.push_series_block(&block);
+                block.clear();
+            }
+        }
+    }
+    if !block.is_empty() {
+        writer.push_series_block(&block);
+    }
+    let path = dir.join(format!("seg-{seq:06}.tsdb"));
+    writer.seal(&path)?;
+    SegmentReader::open(&path)
 }
 
 impl Tsdb {
@@ -185,6 +351,7 @@ impl Tsdb {
             segments,
             next_seq,
             opts,
+            generation: 0,
             recovered_samples,
             recovered_truncated_bytes: recovery.truncated_bytes,
         })
@@ -192,6 +359,13 @@ impl Tsdb {
 
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Monotone mutation counter: bumped by every append, flush, and
+    /// compaction. A cached response computed at generation `g` is valid
+    /// exactly while `generation() == g`.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Append one sample. Buffered: call [`Tsdb::sync`] to make durable.
@@ -223,6 +397,7 @@ impl Tsdb {
                 self.mem_samples += 1;
             }
         }
+        self.generation += 1;
         Ok(())
     }
 
@@ -243,31 +418,15 @@ impl Tsdb {
             }
             return Ok(());
         }
-        let mut writer = SegmentWriter::new(KIND_SERIES);
-        let mut block: Vec<(String, String, Vec<(u64, u64)>)> = Vec::new();
-        for (key, series) in &self.mem {
-            let samples: Vec<(u64, u64)> = series.iter().map(|(&ts, &b)| (ts, b)).collect();
-            for chunk in samples.chunks(self.opts.chunk_samples.max(1)) {
-                block.push((key.host.clone(), key.metric.clone(), chunk.to_vec()));
-                if block.len() >= self.opts.block_chunks.max(1) {
-                    writer.push_series_block(&block);
-                    block.clear();
-                }
-            }
-        }
-        if !block.is_empty() {
-            writer.push_series_block(&block);
-        }
         let seq = self.next_seq;
-        let path = self.dir.join(format!("seg-{seq:06}.tsdb"));
-        writer.seal(&path)?;
-        let reader = SegmentReader::open(&path)?;
+        let reader = write_segment(&self.dir, seq, &self.mem, &self.opts)?;
         self.segments.push((seq, reader));
         self.next_seq = seq + 1;
         // Segment is durable; only now is it safe to drop the WAL.
         self.wal.reset()?;
         self.mem.clear();
         self.mem_samples = 0;
+        self.generation += 1;
         Ok(())
     }
 
@@ -292,25 +451,8 @@ impl Tsdb {
                 }
             }
         }
-        let mut writer = SegmentWriter::new(KIND_SERIES);
-        let mut block: Vec<(String, String, Vec<(u64, u64)>)> = Vec::new();
-        for (key, series) in &merged {
-            let samples: Vec<(u64, u64)> = series.iter().map(|(&ts, &b)| (ts, b)).collect();
-            for chunk in samples.chunks(self.opts.chunk_samples.max(1)) {
-                block.push((key.host.clone(), key.metric.clone(), chunk.to_vec()));
-                if block.len() >= self.opts.block_chunks.max(1) {
-                    writer.push_series_block(&block);
-                    block.clear();
-                }
-            }
-        }
-        if !block.is_empty() {
-            writer.push_series_block(&block);
-        }
         let seq = self.next_seq;
-        let path = self.dir.join(format!("seg-{seq:06}.tsdb"));
-        writer.seal(&path)?;
-        let reader = SegmentReader::open(&path)?;
+        let reader = write_segment(&self.dir, seq, &merged, &self.opts)?;
         let old: Vec<PathBuf> =
             self.segments.iter().map(|(_, r)| r.path().to_path_buf()).collect();
         self.segments = vec![(seq, reader)];
@@ -318,27 +460,159 @@ impl Tsdb {
         for p in old {
             fs::remove_file(&p)?;
         }
+        self.generation += 1;
         Ok(())
     }
 
-    /// All series keys present (segments + memtable), sorted.
+    /// All series keys present (segments + memtable), sorted. Answered
+    /// from the per-series index without touching block data; only v1
+    /// read-shim segments still pay for a decode.
     pub fn series_keys(&self) -> Result<Vec<SeriesKey>, TsdbError> {
-        let mut keys: std::collections::BTreeSet<SeriesKey> =
-            self.mem.keys().cloned().collect();
+        let mut keys: BTreeSet<SeriesKey> = self.mem.keys().cloned().collect();
         for (_, reader) in &self.segments {
-            for entry in &reader.entries {
-                let payload = reader.read_block(entry)?;
-                for chunk in reader.decode_series_block(&payload)? {
-                    keys.insert(SeriesKey::new(chunk.host, chunk.metric));
+            match reader.series_index() {
+                Some(idx) => {
+                    for entry in idx {
+                        keys.insert(SeriesKey::new(&*entry.host, &*entry.metric));
+                    }
+                }
+                None => {
+                    for entry in &reader.entries {
+                        let payload = reader.read_block(entry)?;
+                        for chunk in reader.decode_series_block(&payload)? {
+                            keys.insert(SeriesKey::new(chunk.host, chunk.metric));
+                        }
+                    }
                 }
             }
         }
         Ok(keys.into_iter().collect())
     }
 
+    /// One sorted run per series for one v2 segment, decoding only the
+    /// chunks the index says belong to matching series and overlap the
+    /// range. Blocks are fetched at most once per query.
+    fn segment_runs_indexed(
+        &self,
+        reader: &SegmentReader,
+        idx: &[SeriesEntry],
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        acc: &mut BTreeMap<SeriesKey, Vec<Vec<(u64, u64)>>>,
+    ) -> Result<(), TsdbError> {
+        let mut cache: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        for entry in matching_entries(idx, sel) {
+            let mut run: Vec<(u64, u64)> = Vec::new();
+            for r in entry.chunks.iter().filter(|r| r.max_ts >= t0 && r.min_ts <= t1) {
+                let payload = match cache.get(&r.block_ix) {
+                    Some(p) => p,
+                    None => {
+                        let block = reader.entries.get(r.block_ix as usize).ok_or_else(|| {
+                            TsdbError::Corrupt(format!(
+                                "{}: series index block {} out of range",
+                                reader.path().display(),
+                                r.block_ix
+                            ))
+                        })?;
+                        let p = reader.read_block(block)?;
+                        cache.entry(r.block_ix).or_insert(p)
+                    }
+                };
+                let samples = reader.decode_chunk_in_block(payload, r)?;
+                run.extend(samples.into_iter().filter(|&(ts, _)| ts >= t0 && ts <= t1));
+            }
+            if run.is_empty() {
+                continue;
+            }
+            acc.entry(SeriesKey::new(&*entry.host, &*entry.metric))
+                .or_default()
+                .push(normalize_run(run));
+        }
+        Ok(())
+    }
+
+    /// v1 read shim: no per-series index, so decode every overlapping
+    /// block and keep what matches.
+    fn segment_runs_v1(
+        &self,
+        reader: &SegmentReader,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        acc: &mut BTreeMap<SeriesKey, Vec<Vec<(u64, u64)>>>,
+    ) -> Result<(), TsdbError> {
+        let mut per: BTreeMap<SeriesKey, Vec<(u64, u64)>> = BTreeMap::new();
+        for entry in &reader.entries {
+            if entry.max_ts < t0 || entry.min_ts > t1 {
+                continue;
+            }
+            let payload = reader.read_block(entry)?;
+            for chunk in reader.decode_series_block(&payload)? {
+                let key = SeriesKey::new(chunk.host, chunk.metric);
+                if !sel.matches(&key) {
+                    continue;
+                }
+                per.entry(key)
+                    .or_default()
+                    .extend(chunk.samples.into_iter().filter(|&(ts, _)| ts >= t0 && ts <= t1));
+            }
+        }
+        for (key, run) in per {
+            if !run.is_empty() {
+                acc.entry(key).or_default().push(normalize_run(run));
+            }
+        }
+        Ok(())
+    }
+
     /// Range scan: all series matching `sel`, samples with
     /// `t0 <= ts <= t1`, merged last-write-wins, sorted by key then ts.
+    ///
+    /// Index-driven: each segment contributes one sorted run per series
+    /// (decoding only matching chunks when the segment carries a
+    /// series index), and a k-way merge resolves overwrites.
     pub fn query(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+    ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        let mut acc: BTreeMap<SeriesKey, Vec<Vec<(u64, u64)>>> = BTreeMap::new();
+        for (_, reader) in &self.segments {
+            match reader.series_index() {
+                Some(idx) => self.segment_runs_indexed(reader, idx, sel, t0, t1, &mut acc)?,
+                None => self.segment_runs_v1(reader, sel, t0, t1, &mut acc)?,
+            }
+        }
+        for (key, series) in &self.mem {
+            if !sel.matches(key) {
+                continue;
+            }
+            let run: Vec<(u64, u64)> = series.range(t0..=t1).map(|(&ts, &b)| (ts, b)).collect();
+            if run.is_empty() {
+                continue;
+            }
+            acc.entry(key.clone()).or_default().push(run);
+        }
+        Ok(acc
+            .into_iter()
+            .map(|(key, runs)| {
+                let samples: Vec<(u64, f64)> = merge_runs(runs)
+                    .into_iter()
+                    .map(|(ts, bits)| (ts, f64::from_bits(bits)))
+                    .collect();
+                (key, samples)
+            })
+            .filter(|(_, s)| !s.is_empty())
+            .collect())
+    }
+
+    /// Reference implementation of [`Tsdb::query`]: decode every
+    /// overlapping block into a map, last insert wins. Kept as the
+    /// differential-test oracle and benchmark baseline — do not
+    /// "optimize" this; its value is being obviously correct.
+    pub fn query_naive(
         &self,
         sel: &Selector,
         t0: u64,
@@ -401,6 +675,14 @@ impl Tsdb {
     /// Downsample matching series into `bin_secs` bins aligned at
     /// multiples of `bin_secs`; returns `(bin_start_ts, agg)` per
     /// non-empty bin.
+    ///
+    /// Fast path: when every segment carries a series index and a
+    /// series' sources are disjoint in time, bins that fully cover a
+    /// chunk fold the chunk's stored statistics and the chunk is never
+    /// decompressed; only boundary chunks are decoded. Falls back to
+    /// binning the merged scan — the two produce bit-identical output
+    /// (see [`crate::stats`] for why, and the differential proptests
+    /// for proof).
     pub fn downsample(
         &self,
         sel: &Selector,
@@ -410,19 +692,194 @@ impl Tsdb {
         agg: Agg,
     ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
         let bin_secs = bin_secs.max(1);
-        let series = self.query(sel, t0, t1)?;
-        Ok(series
-            .into_iter()
-            .map(|(key, samples)| {
-                let mut bins: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
-                for (ts, v) in samples {
-                    bins.entry(ts / bin_secs * bin_secs).or_default().push((ts, v));
+        if self.segments.iter().any(|(_, r)| r.series_index().is_none()) {
+            // Read-shim store: no pre-aggregates to fold.
+            return Ok(bin_series(self.query(sel, t0, t1)?, bin_secs, agg));
+        }
+        let mut keys: BTreeSet<SeriesKey> = BTreeSet::new();
+        for key in self.mem.keys() {
+            if sel.matches(key) {
+                keys.insert(key.clone());
+            }
+        }
+        for (_, reader) in &self.segments {
+            for entry in matching_entries(reader.series_index().unwrap_or(&[]), sel) {
+                keys.insert(SeriesKey::new(&*entry.host, &*entry.metric));
+            }
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(binned) = self.downsample_one(&key, t0, t1, bin_secs, agg)? {
+                if !binned.is_empty() {
+                    out.push((key, binned));
                 }
-                let binned =
-                    bins.into_iter().map(|(start, s)| (start, agg.fold(&s))).collect();
-                (key, binned)
-            })
-            .collect())
+            }
+        }
+        Ok(out)
+    }
+
+    /// One series through the pre-aggregated path, or the merged-scan
+    /// fallback when sources overlap in time (overwrites in flight).
+    fn downsample_one(
+        &self,
+        key: &SeriesKey,
+        t0: u64,
+        t1: u64,
+        bin_secs: u64,
+        agg: Agg,
+    ) -> Result<Option<Vec<(u64, f64)>>, TsdbError> {
+        let exact =
+            Selector { host: Some(key.host.clone()), metric: Some(key.metric.clone()) };
+
+        // Gather this series' sources: per-segment chunk refs clipped to
+        // the range, plus the memtable window.
+        struct SegSource<'a> {
+            reader: &'a SegmentReader,
+            refs: Vec<&'a ChunkRef>,
+            min_ts: u64,
+            max_ts: u64,
+        }
+        let mut seg_sources: Vec<SegSource<'_>> = Vec::new();
+        let mut orderly = true;
+        for (_, reader) in &self.segments {
+            let idx = reader.series_index().unwrap_or(&[]);
+            for entry in matching_entries(idx, &exact) {
+                let refs: Vec<&ChunkRef> = entry
+                    .chunks
+                    .iter()
+                    .filter(|r| r.max_ts >= t0 && r.min_ts <= t1)
+                    .collect();
+                if refs.is_empty() {
+                    continue;
+                }
+                // Refs must be ascending and non-overlapping for the
+                // walk order (and the fold) to be meaningful.
+                orderly &= refs.windows(2).all(|w| match w {
+                    [a, b] => a.max_ts < b.min_ts,
+                    _ => true,
+                });
+                let min_ts = refs.iter().map(|r| r.min_ts).min().unwrap_or(0).max(t0);
+                let max_ts = refs.iter().map(|r| r.max_ts).max().unwrap_or(0).min(t1);
+                seg_sources.push(SegSource { reader, refs, min_ts, max_ts });
+            }
+        }
+        let mem_window = self.mem.get(key).and_then(|series| {
+            let mut range = series.range(t0..=t1);
+            let first = range.next().map(|(&ts, _)| ts)?;
+            let last = range.next_back().map(|(&ts, _)| ts).unwrap_or(first);
+            Some((first, last))
+        });
+
+        // Disjointness check: if any two sources could hold the same
+        // timestamp, overwrites are possible and only a full merge is
+        // correct.
+        let mut spans: Vec<(u64, u64)> =
+            seg_sources.iter().map(|s| (s.min_ts, s.max_ts)).collect();
+        if let Some(w) = mem_window {
+            spans.push(w);
+        }
+        spans.sort_unstable();
+        let disjoint = spans.windows(2).all(|w| match w {
+            [a, b] => a.1 < b.0,
+            _ => true,
+        });
+        if spans.is_empty() {
+            return Ok(None);
+        }
+        if !orderly || !disjoint {
+            let series = self.query(&exact, t0, t1)?;
+            let samples =
+                series.into_iter().next().map(|(_, s)| s).unwrap_or_default();
+            return Ok(Some(bin_samples(&samples, bin_secs, agg)));
+        }
+
+        // Walk sources in ascending time order, folding chunk stats
+        // where a single bin fully covers the chunk.
+        enum Source<'a> {
+            Seg(SegSource<'a>),
+            Mem,
+        }
+        let mut sources: Vec<(u64, Source<'_>)> =
+            seg_sources.into_iter().map(|s| (s.min_ts, Source::Seg(s))).collect();
+        if let Some((first, _)) = mem_window {
+            sources.push((first, Source::Mem));
+        }
+        sources.sort_by_key(|&(min_ts, _)| min_ts);
+
+        let needs_sum = agg.needs_sequential_sum();
+        let mut bins: BTreeMap<u64, BinAcc> = BTreeMap::new();
+        for (_, source) in sources {
+            match source {
+                Source::Mem => {
+                    if let Some(series) = self.mem.get(key) {
+                        for (&ts, &bits) in series.range(t0..=t1) {
+                            bins.entry(ts / bin_secs * bin_secs)
+                                .or_default()
+                                .add(f64::from_bits(bits));
+                        }
+                    }
+                }
+                Source::Seg(seg) => {
+                    let mut cache: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+                    for r in seg.refs {
+                        let fully_inside = r.min_ts >= t0 && r.max_ts <= t1;
+                        let single_bin = r.min_ts / bin_secs == r.max_ts / bin_secs;
+                        if fully_inside && single_bin && r.stats.count > 0 {
+                            let acc =
+                                bins.entry(r.min_ts / bin_secs * bin_secs).or_default();
+                            if acc.can_fold(needs_sum) {
+                                acc.fold_chunk(&r.stats);
+                                continue;
+                            }
+                        }
+                        let payload = match cache.get(&r.block_ix) {
+                            Some(p) => p,
+                            None => {
+                                let block = seg
+                                    .reader
+                                    .entries
+                                    .get(r.block_ix as usize)
+                                    .ok_or_else(|| {
+                                        TsdbError::Corrupt(format!(
+                                            "{}: series index block {} out of range",
+                                            seg.reader.path().display(),
+                                            r.block_ix
+                                        ))
+                                    })?;
+                                let p = seg.reader.read_block(block)?;
+                                cache.entry(r.block_ix).or_insert(p)
+                            }
+                        };
+                        let samples = seg.reader.decode_chunk_in_block(payload, r)?;
+                        for (ts, bits) in samples {
+                            if ts >= t0 && ts <= t1 {
+                                bins.entry(ts / bin_secs * bin_secs)
+                                    .or_default()
+                                    .add(f64::from_bits(bits));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Some(
+            bins.into_iter().map(|(start, acc)| (start, agg.finish(&acc))).collect(),
+        ))
+    }
+
+    /// Reference implementation of [`Tsdb::downsample`] over
+    /// [`Tsdb::query_naive`]: decode everything, bin scalar-by-scalar.
+    /// Differential-test oracle and benchmark baseline.
+    pub fn downsample_naive(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        bin_secs: u64,
+        agg: Agg,
+    ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        let bin_secs = bin_secs.max(1);
+        Ok(bin_series(self.query_naive(sel, t0, t1)?, bin_secs, agg))
     }
 
     /// Total bytes of sealed segments on disk.
@@ -433,6 +890,11 @@ impl Tsdb {
     pub fn stats(&self) -> DbStats {
         DbStats {
             segments: self.segments.len(),
+            indexed_segments: self
+                .segments
+                .iter()
+                .filter(|(_, r)| r.series_index().is_some())
+                .count(),
             segment_bytes: self.disk_bytes(),
             wal_bytes: self.wal.len(),
             mem_series: self.mem.len(),
@@ -465,6 +927,23 @@ mod tests {
         db.sync().unwrap();
     }
 
+    /// Compare query outputs bitwise (NaN-safe): same keys, same
+    /// timestamps, same value bits.
+    fn assert_bit_identical(
+        a: &[(SeriesKey, Vec<(u64, f64)>)],
+        b: &[(SeriesKey, Vec<(u64, f64)>)],
+    ) {
+        assert_eq!(a.len(), b.len(), "series count");
+        for ((ka, sa), (kb, sb)) in a.iter().zip(b) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa.len(), sb.len(), "sample count for {ka:?}");
+            for (&(ta, va), &(tb, vb)) in sa.iter().zip(sb) {
+                assert_eq!(ta, tb, "timestamp for {ka:?}");
+                assert_eq!(va.to_bits(), vb.to_bits(), "value at ts {ta} for {ka:?}");
+            }
+        }
+    }
+
     #[test]
     fn append_query_from_memtable() {
         let dir = tmpdir("mem");
@@ -485,6 +964,7 @@ mod tests {
         db.flush().unwrap();
         assert_eq!(db.stats().mem_samples, 0);
         assert_eq!(db.stats().segments, 1);
+        assert_eq!(db.stats().indexed_segments, 1);
         assert!(db.wal.is_empty());
         let after = db.query(&Selector::all(), 0, u64::MAX).unwrap();
         assert_eq!(before, after);
@@ -613,6 +1093,123 @@ mod tests {
         assert_eq!(out[0].1.to_bits(), nan_bits);
         assert_eq!(out[1].1, f64::NEG_INFINITY);
         assert_eq!(out[2].1.to_bits(), (-0.0f64).to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn indexed_query_matches_naive_on_mixed_store() {
+        let dir = tmpdir("diffq");
+        let mut db = Tsdb::open_with(
+            &dir,
+            DbOptions { chunk_samples: 16, block_chunks: 4 },
+        )
+        .unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        // Overwrites + fresh tail in a second segment, plus live
+        // memtable data on top.
+        db.append_batch("c301-101", "cpu_user", &[(600, 99.0), (130_000, 7.0)]).unwrap();
+        db.sync().unwrap();
+        db.flush().unwrap();
+        db.append_batch("c301-102", "mem_used", &[(0, -1.0), (999_999, 4.5)]).unwrap();
+        db.sync().unwrap();
+        for (t0, t1) in [(0, u64::MAX), (600, 1800), (50_000, 200_000), (5, 5)] {
+            for sel in [
+                Selector::all(),
+                Selector::host("c301-101"),
+                Selector::metric("mem_used"),
+                Selector { host: Some("c301-102".into()), metric: Some("cpu_user".into()) },
+                Selector::host("no-such-host"),
+            ] {
+                let fast = db.query(&sel, t0, t1).unwrap();
+                let slow = db.query_naive(&sel, t0, t1).unwrap();
+                assert_bit_identical(&fast, &slow);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preagg_downsample_matches_naive() {
+        let dir = tmpdir("diffd");
+        let mut db = Tsdb::open_with(
+            &dir,
+            DbOptions { chunk_samples: 8, block_chunks: 4 },
+        )
+        .unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        for agg in [Agg::Mean, Agg::Sum, Agg::Min, Agg::Max, Agg::Last, Agg::Count] {
+            for bin in [600, 3600, 86_400, 604_800] {
+                for (t0, t1) in [(0, u64::MAX), (600, 100_000), (7000, 7000)] {
+                    let fast = db.downsample(&Selector::all(), t0, t1, bin, agg).unwrap();
+                    let slow =
+                        db.downsample_naive(&Selector::all(), t0, t1, bin, agg).unwrap();
+                    assert_bit_identical(&fast, &slow);
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_read_shim_segments_still_serve_queries() {
+        use crate::segment::KIND_SERIES;
+        let dir = tmpdir("v1shim");
+        // Hand-seal a v1 (index-less) segment into the store directory.
+        let samples: Vec<(u64, u64)> =
+            (0..50u64).map(|i| (i * 600, (i as f64).to_bits())).collect();
+        let mut w = SegmentWriter::new(KIND_SERIES);
+        w.push_series_block(&[("legacy-host", "cpu_user", samples.as_slice())]);
+        w.seal_with_version(&dir.join("seg-000001.tsdb"), 1).unwrap();
+
+        let mut db = Tsdb::open(&dir).unwrap();
+        assert_eq!(db.stats().segments, 1);
+        assert_eq!(db.stats().indexed_segments, 0);
+        // New data lands in a v2 segment alongside the old one.
+        db.append_batch("legacy-host", "cpu_user", &[(600, 99.0)]).unwrap();
+        db.sync().unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.stats().indexed_segments, 1);
+        let out = db.query_series("legacy-host", "cpu_user", 0, u64::MAX).unwrap();
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[1], (600, 99.0), "v2 overwrite wins over v1 data");
+        let fast = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        let slow = db.query_naive(&Selector::all(), 0, u64::MAX).unwrap();
+        assert_bit_identical(&fast, &slow);
+        let down = db.downsample(&Selector::all(), 0, u64::MAX, 3600, Agg::Mean).unwrap();
+        let down_naive =
+            db.downsample_naive(&Selector::all(), 0, u64::MAX, 3600, Agg::Mean).unwrap();
+        assert_bit_identical(&down, &down_naive);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation_only() {
+        let dir = tmpdir("gen");
+        let mut db = Tsdb::open(&dir).unwrap();
+        let g0 = db.generation();
+        assert_eq!(db.query(&Selector::all(), 0, u64::MAX).unwrap().len(), 0);
+        assert_eq!(db.generation(), g0, "reads do not bump the generation");
+        db.append("h", "m", 0, 1.0).unwrap();
+        let g1 = db.generation();
+        assert!(g1 > g0);
+        db.flush().unwrap();
+        assert!(db.generation() > g1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_keys_answer_from_index_without_decoding() {
+        let dir = tmpdir("keys");
+        let mut db = Tsdb::open(&dir).unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        db.append("extra-host", "gpu_util", 0, 0.5).unwrap();
+        let keys = db.series_keys().unwrap();
+        assert_eq!(keys.len(), 5);
+        assert!(keys.contains(&SeriesKey::new("extra-host", "gpu_util")));
+        assert!(keys.contains(&SeriesKey::new("c301-102", "mem_used")));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,9 @@
 //! - [`codec`] — Gorilla-style per-series chunk compression:
 //!   delta-of-delta timestamps and XOR / zigzag-varint values;
 //! - [`segment`] — immutable segment files: versioned header, per-block
-//!   CRC32, sparse time index in the footer;
+//!   CRC32, sparse time index + per-series chunk index in the footer;
+//! - [`stats`] — chunk-level pre-aggregates ([`stats::ChunkStats`]) and
+//!   the bin accumulator both downsampling paths share;
 //! - [`wal`] — the write-ahead log: length+CRC framed records, torn-write
 //!   detection, replay-and-truncate recovery;
 //! - [`db`] — the engine: [`Tsdb`] (open → append → sync → flush →
@@ -40,7 +42,9 @@ pub mod crc;
 pub mod db;
 pub mod recordlog;
 pub mod segment;
+pub mod stats;
 pub mod wal;
 
 pub use db::{Agg, DbOptions, DbStats, Selector, SeriesKey, Tsdb};
 pub use segment::TsdbError;
+pub use stats::{BinAcc, ChunkStats};

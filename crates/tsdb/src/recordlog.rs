@@ -150,7 +150,7 @@ mod tests {
     fn series_segment_is_rejected_by_record_reader() {
         let path = tmp("kindmix");
         let mut w = SegmentWriter::new(crate::segment::KIND_SERIES);
-        w.push_series_block(&[("h".into(), "m".into(), vec![(0, 1u64)])]);
+        w.push_series_block(&[("h", "m", &[(0, 1u64)][..])]);
         w.seal(&path).unwrap();
         assert!(matches!(read_records(&path), Err(TsdbError::Corrupt(_))));
         let _ = fs::remove_dir_all(path.parent().unwrap());

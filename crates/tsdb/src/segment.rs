@@ -11,19 +11,34 @@
 //! │ block 0: u32 len · u32 crc32 · payload       │
 //! │ block 1: …                                   │
 //! ├──────────────────────────────────────────────┤
-//! │ index block: one entry per data block        │ (same framing)
+//! │ index block: one entry per data block,       │ (same framing)
+//! │ then (v2) the per-series chunk index         │
 //! ├──────────────────────────────────────────────┤
 //! │ footer: u64 index_offset · u32 index_len ·   │ 20 bytes
 //! │         u32 index_crc · magic "BDST"         │
 //! └──────────────────────────────────────────────┘
 //! ```
 //!
-//! The index is *sparse in time*: per block it records the covered
+//! The block index is *sparse in time*: per block it records the covered
 //! `[min_ts, max_ts]`, so a range query opens only blocks that can
-//! intersect it. Segments are written to a temp file, fsync'd, then
-//! renamed into place — a crash mid-write leaves no visible segment.
+//! intersect it. Version 2 appends a **per-series chunk index** to the
+//! same CRC-protected index frame: for every `(host, metric)` in the
+//! segment, the exact location of each of its compressed chunks
+//! (`block · offset · len`), the chunk's time range, and its
+//! pre-computed statistics ([`crate::stats::ChunkStats`]). A selective
+//! query then reads only the blocks that hold the series it wants and
+//! decodes only that series' chunks; a downsampling query can fold
+//! whole chunks from the stats without decompressing them at all.
 //!
-//! Series-block payload (kind 0):
+//! Version-1 segments (block index only) still open; the reader
+//! reports `series_index() == None` and callers fall back to decoding
+//! blocks. Writers emit v2 only — the read shim is the one-release
+//! compatibility policy.
+//!
+//! Segments are written to a temp file, fsync'd, then renamed into
+//! place — a crash mid-write leaves no visible segment.
+//!
+//! Series-block payload (kind 0, unchanged since v1):
 //!
 //! ```text
 //! varint n_hosts · (varint len · bytes)*        host string table
@@ -31,7 +46,21 @@
 //! varint n_chunks · (varint host_id · varint metric_id ·
 //!                    varint chunk_len · chunk bytes)*
 //! ```
+//!
+//! v2 series-index tail (inside the index frame, after the block
+//! entries):
+//!
+//! ```text
+//! varint n_hosts · (varint len · bytes)*        segment-wide tables
+//! varint n_metrics · (varint len · bytes)*
+//! varint n_series ·
+//!   (varint host_id · varint metric_id · varint n_chunks ·
+//!     (varint block_ix · varint offset · varint len ·
+//!      varint min_ts · varint max_ts · varint count ·
+//!      u64 sum_bits · u64 min_bits · u64 max_bits · u64 last_bits)*)*
+//! ```
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -39,10 +68,11 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{self, decode_chunk_at, get_varint, put_varint};
 use crate::crc::crc32;
+use crate::stats::ChunkStats;
 
 pub const MAGIC: &[u8; 8] = b"SUPTSDB1";
 pub const FOOTER_MAGIC: &[u8; 4] = b"BDST";
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 /// Segment holds compressed time series (host/metric chunks).
 pub const KIND_SERIES: u8 = 0;
 /// Segment holds opaque length-framed records (job table, etc.).
@@ -104,22 +134,48 @@ pub struct SeriesChunk {
     pub samples: Vec<(u64, u64)>,
 }
 
+/// v2 series index: the exact location of one compressed chunk plus its
+/// time range and pre-aggregates. `offset`/`len` are relative to the
+/// owning block's payload and frame the chunk's encoded bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRef {
+    pub block_ix: u32,
+    pub offset: u32,
+    pub len: u32,
+    pub min_ts: u64,
+    pub max_ts: u64,
+    pub stats: ChunkStats,
+}
+
+/// v2 series index: every chunk of one `(host, metric)` series, in the
+/// order the writer emitted them (ascending time for engine-produced
+/// segments).
+#[derive(Debug, Clone)]
+pub struct SeriesEntry {
+    pub host: String,
+    pub metric: String,
+    pub chunks: Vec<ChunkRef>,
+}
+
 // --- writing --------------------------------------------------------------
 
 /// Builds a segment in memory, then seals it to disk atomically.
 pub struct SegmentWriter {
     kind: u8,
     blocks: Vec<(Vec<u8>, u64, u64, u32)>, // payload, min_ts, max_ts, n_chunks
+    /// Per-series chunk refs for the v2 index, keyed `(host, metric)`.
+    series: BTreeMap<(String, String), Vec<ChunkRef>>,
 }
 
 impl SegmentWriter {
     pub fn new(kind: u8) -> SegmentWriter {
-        SegmentWriter { kind, blocks: Vec::new() }
+        SegmentWriter { kind, blocks: Vec::new(), series: BTreeMap::new() }
     }
 
     /// Add a series block: chunks grouped under shared string tables.
-    /// `chunks` items are `(host, metric, samples)`.
-    pub fn push_series_block(&mut self, chunks: &[(String, String, Vec<(u64, u64)>)]) {
+    /// `chunks` items are `(host, metric, samples)`; samples are
+    /// borrowed — no copy is made on the way into the encoder.
+    pub fn push_series_block(&mut self, chunks: &[(&str, &str, &[(u64, u64)])]) {
         if chunks.is_empty() {
             return;
         }
@@ -141,6 +197,7 @@ impl SegmentWriter {
             metric_ids.push(intern(&mut metrics, metric));
         }
 
+        let block_ix = self.blocks.len() as u32;
         let mut payload = Vec::new();
         put_varint(&mut payload, hosts.len() as u64);
         for h in &hosts {
@@ -155,16 +212,32 @@ impl SegmentWriter {
         put_varint(&mut payload, chunks.len() as u64);
         let mut min_ts = u64::MAX;
         let mut max_ts = 0u64;
-        for (i, (_, _, samples)) in chunks.iter().enumerate() {
-            for &(ts, _) in samples {
-                min_ts = min_ts.min(ts);
-                max_ts = max_ts.max(ts);
+        for (i, (host, metric, samples)) in chunks.iter().enumerate() {
+            let mut chunk_min = u64::MAX;
+            let mut chunk_max = 0u64;
+            for &(ts, _) in *samples {
+                chunk_min = chunk_min.min(ts);
+                chunk_max = chunk_max.max(ts);
             }
+            min_ts = min_ts.min(chunk_min);
+            max_ts = max_ts.max(chunk_max);
             put_varint(&mut payload, host_ids[i]);
             put_varint(&mut payload, metric_ids[i]);
             let chunk = codec::encode_chunk(samples);
             put_varint(&mut payload, chunk.len() as u64);
+            let offset = payload.len() as u32;
             payload.extend_from_slice(&chunk);
+            self.series
+                .entry((host.to_string(), metric.to_string()))
+                .or_default()
+                .push(ChunkRef {
+                    block_ix,
+                    offset,
+                    len: chunk.len() as u32,
+                    min_ts: if chunk_min == u64::MAX { 0 } else { chunk_min },
+                    max_ts: chunk_max,
+                    stats: ChunkStats::from_samples(samples),
+                });
         }
         if min_ts == u64::MAX {
             min_ts = 0;
@@ -181,12 +254,25 @@ impl SegmentWriter {
         self.blocks.is_empty()
     }
 
-    /// Seal: write `<path>.tmp`, fsync, rename to `path`, fsync the
-    /// parent directory so the rename itself is durable.
+    /// Seal at the current format version: write `<path>.tmp`, fsync,
+    /// rename to `path`, fsync the parent directory so the rename itself
+    /// is durable.
     pub fn seal(self, path: &Path) -> Result<u64, TsdbError> {
+        self.seal_with_version(path, VERSION)
+    }
+
+    /// Seal at an explicit format version (`1` omits the per-series
+    /// index). Exists so compatibility tests and migration tooling can
+    /// produce old-format segments; everything else wants [`seal`].
+    ///
+    /// [`seal`]: SegmentWriter::seal
+    pub fn seal_with_version(self, path: &Path, version: u16) -> Result<u64, TsdbError> {
+        if version == 0 || version > VERSION {
+            return Err(TsdbError::BadVersion(version));
+        }
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         buf.push(self.kind);
         buf.push(0); // reserved
 
@@ -212,6 +298,50 @@ impl SegmentWriter {
             put_varint(&mut index, e.min_ts);
             put_varint(&mut index, e.max_ts);
             put_varint(&mut index, e.n_chunks as u64);
+        }
+        if version >= 2 {
+            // Segment-wide string tables, then per-series chunk refs.
+            let mut hosts: Vec<&str> = Vec::new();
+            let mut metrics: Vec<&str> = Vec::new();
+            for (host, metric) in self.series.keys() {
+                if !hosts.iter().any(|h| *h == host.as_str()) {
+                    hosts.push(host);
+                }
+                if !metrics.iter().any(|m| *m == metric.as_str()) {
+                    metrics.push(metric);
+                }
+            }
+            put_varint(&mut index, hosts.len() as u64);
+            for h in &hosts {
+                put_varint(&mut index, h.len() as u64);
+                index.extend_from_slice(h.as_bytes());
+            }
+            put_varint(&mut index, metrics.len() as u64);
+            for m in &metrics {
+                put_varint(&mut index, m.len() as u64);
+                index.extend_from_slice(m.as_bytes());
+            }
+            put_varint(&mut index, self.series.len() as u64);
+            for ((host, metric), refs) in &self.series {
+                let host_id = hosts.iter().position(|h| *h == host.as_str()).unwrap_or(0) as u64;
+                let metric_id =
+                    metrics.iter().position(|m| *m == metric.as_str()).unwrap_or(0) as u64;
+                put_varint(&mut index, host_id);
+                put_varint(&mut index, metric_id);
+                put_varint(&mut index, refs.len() as u64);
+                for r in refs {
+                    put_varint(&mut index, r.block_ix as u64);
+                    put_varint(&mut index, r.offset as u64);
+                    put_varint(&mut index, r.len as u64);
+                    put_varint(&mut index, r.min_ts);
+                    put_varint(&mut index, r.max_ts);
+                    put_varint(&mut index, r.stats.count);
+                    index.extend_from_slice(&r.stats.sum.to_bits().to_le_bytes());
+                    index.extend_from_slice(&r.stats.min.to_bits().to_le_bytes());
+                    index.extend_from_slice(&r.stats.max.to_bits().to_le_bytes());
+                    index.extend_from_slice(&r.stats.last.to_bits().to_le_bytes());
+                }
+            }
         }
         let index_offset = buf.len() as u64;
         buf.extend_from_slice(&index);
@@ -246,7 +376,32 @@ pub struct SegmentReader {
     path: PathBuf,
     pub kind: u8,
     pub entries: Vec<IndexEntry>,
+    version: u16,
+    series: Vec<SeriesEntry>,
     file_len: u64,
+}
+
+/// Parse a varint-framed string table out of the index frame.
+fn read_string_table(
+    index: &[u8],
+    pos: &mut usize,
+    what: &str,
+    path: &Path,
+) -> Result<Vec<String>, TsdbError> {
+    let bad = |w: &str| corrupt(format!("{}: series index {what}: {w}", path.display()));
+    let n = get_varint(index, pos).ok_or_else(|| bad("count"))? as usize;
+    if n > index.len() {
+        return Err(bad("count out of range"));
+    }
+    let mut table = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = get_varint(index, pos).ok_or_else(|| bad("name length"))? as usize;
+        let end = pos.checked_add(len).ok_or_else(|| bad("name overflow"))?;
+        let bytes = index.get(*pos..end).ok_or_else(|| bad("name bytes"))?;
+        *pos = end;
+        table.push(String::from_utf8(bytes.to_vec()).map_err(|_| bad("name not utf-8"))?);
+    }
+    Ok(table)
 }
 
 impl SegmentReader {
@@ -314,10 +469,110 @@ impl SegmentReader {
             }
             entries.push(IndexEntry { offset, len, min_ts, max_ts, n_chunks });
         }
+
+        let series = if version >= 2 {
+            Self::parse_series_index(&index, &mut pos, &entries, path)?
+        } else {
+            Vec::new()
+        };
         if pos != index.len() {
             return Err(corrupt(format!("{}: trailing index bytes", path.display())));
         }
-        Ok(SegmentReader { path: path.to_path_buf(), kind, entries, file_len })
+        Ok(SegmentReader {
+            path: path.to_path_buf(),
+            kind,
+            entries,
+            version,
+            series,
+            file_len,
+        })
+    }
+
+    fn parse_series_index(
+        index: &[u8],
+        pos: &mut usize,
+        entries: &[IndexEntry],
+        path: &Path,
+    ) -> Result<Vec<SeriesEntry>, TsdbError> {
+        let bad = |w: String| corrupt(format!("{}: series index: {w}", path.display()));
+        let hosts = read_string_table(index, pos, "hosts", path)?;
+        let metrics = read_string_table(index, pos, "metrics", path)?;
+        let n_series =
+            get_varint(index, pos).ok_or_else(|| bad("series count".into()))? as usize;
+        if n_series > index.len() {
+            return Err(bad("series count out of range".into()));
+        }
+        let mut out: Vec<SeriesEntry> = Vec::with_capacity(n_series);
+        for s in 0..n_series {
+            let mut field = |name: &str| {
+                get_varint(index, pos).ok_or_else(|| bad(format!("series[{s}].{name}")))
+            };
+            let host_id = field("host_id")? as usize;
+            let metric_id = field("metric_id")? as usize;
+            let n_refs = field("n_chunks")? as usize;
+            let host = hosts
+                .get(host_id)
+                .ok_or_else(|| bad(format!("series[{s}] host id out of range")))?
+                .clone();
+            let metric = metrics
+                .get(metric_id)
+                .ok_or_else(|| bad(format!("series[{s}] metric id out of range")))?
+                .clone();
+            if n_refs > index.len() {
+                return Err(bad(format!("series[{s}] chunk count out of range")));
+            }
+            let mut chunks = Vec::with_capacity(n_refs);
+            for c in 0..n_refs {
+                let mut field = |name: &str| {
+                    get_varint(index, pos)
+                        .ok_or_else(|| bad(format!("series[{s}].chunk[{c}].{name}")))
+                };
+                let block_ix = field("block_ix")? as u32;
+                let offset = field("offset")? as u32;
+                let len = field("len")? as u32;
+                let min_ts = field("min_ts")?;
+                let max_ts = field("max_ts")?;
+                let count = field("count")?;
+                let mut bits = |name: &str| -> Result<f64, TsdbError> {
+                    let end = pos.checked_add(8).ok_or_else(|| {
+                        bad(format!("series[{s}].chunk[{c}].{name} overflow"))
+                    })?;
+                    let raw = index.get(*pos..end).ok_or_else(|| {
+                        bad(format!("series[{s}].chunk[{c}].{name} truncated"))
+                    })?;
+                    *pos = end;
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(raw);
+                    Ok(f64::from_bits(u64::from_le_bytes(b)))
+                };
+                let sum = bits("sum")?;
+                let min = bits("min")?;
+                let max = bits("max")?;
+                let last = bits("last")?;
+                let entry = entries.get(block_ix as usize).ok_or_else(|| {
+                    bad(format!("series[{s}].chunk[{c}] block {block_ix} out of range"))
+                })?;
+                let end = (offset as u64).checked_add(len as u64);
+                if end.map_or(true, |e| e > entry.len as u64) {
+                    return Err(bad(format!(
+                        "series[{s}].chunk[{c}] bytes {offset}+{len} exceed block {block_ix}"
+                    )));
+                }
+                if min_ts > max_ts {
+                    return Err(bad(format!("series[{s}].chunk[{c}] inverted time range")));
+                }
+                chunks.push(ChunkRef {
+                    block_ix,
+                    offset,
+                    len,
+                    min_ts,
+                    max_ts,
+                    stats: ChunkStats { count, sum, min, max, last },
+                });
+            }
+            out.push(SeriesEntry { host, metric, chunks });
+        }
+        Ok(out)
     }
 
     pub fn path(&self) -> &Path {
@@ -326,6 +581,18 @@ impl SegmentReader {
 
     pub fn file_len(&self) -> u64 {
         self.file_len
+    }
+
+    /// Format version this segment was sealed at.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The per-series chunk index, sorted by `(host, metric)`.
+    /// `None` for version-1 segments — callers must fall back to
+    /// decoding blocks.
+    pub fn series_index(&self) -> Option<&[SeriesEntry]> {
+        (self.version >= 2).then_some(self.series.as_slice())
     }
 
     /// Overall `[min_ts, max_ts]` across all blocks; `None` if empty.
@@ -362,6 +629,36 @@ impl SegmentReader {
             )));
         }
         Ok(payload)
+    }
+
+    /// Decode one chunk addressed by a v2 [`ChunkRef`] out of its
+    /// block's already-read payload, without touching the rest of the
+    /// block.
+    pub fn decode_chunk_in_block(
+        &self,
+        payload: &[u8],
+        r: &ChunkRef,
+    ) -> Result<Vec<(u64, u64)>, TsdbError> {
+        let bad = |what: &str| {
+            corrupt(format!(
+                "{}: chunk at block {} offset {}: {what}",
+                self.path.display(),
+                r.block_ix,
+                r.offset
+            ))
+        };
+        let end = (r.offset as usize)
+            .checked_add(r.len as usize)
+            .ok_or_else(|| bad("length overflow"))?;
+        if end > payload.len() {
+            return Err(bad("out of block bounds"));
+        }
+        let mut pos = r.offset as usize;
+        let samples = decode_chunk_at(&payload[..end], &mut pos).ok_or_else(|| bad("decode"))?;
+        if pos != end {
+            return Err(bad("length mismatch"));
+        }
+        Ok(samples)
     }
 
     /// Decode a kind-0 block payload into named series chunks.
@@ -452,18 +749,25 @@ mod tests {
         ]
     }
 
+    /// Borrow an owned chunk list into `push_series_block` form.
+    fn as_refs(owned: &[(String, String, Vec<(u64, u64)>)]) -> Vec<(&str, &str, &[(u64, u64)])> {
+        owned.iter().map(|(h, m, s)| (h.as_str(), m.as_str(), s.as_slice())).collect()
+    }
+
     #[test]
     fn seal_and_reopen_round_trips() {
         let dir = tmpdir("roundtrip");
         let path = dir.join("seg-000001.tsdb");
         let mut w = SegmentWriter::new(KIND_SERIES);
-        w.push_series_block(&sample_chunks());
+        let owned = sample_chunks();
+        w.push_series_block(&as_refs(&owned));
         let bytes = w.seal(&path).unwrap();
         assert_eq!(fs::metadata(&path).unwrap().len(), bytes);
         assert!(!dir.join("seg-000001.tsdb.tmp").exists(), "tmp file cleaned up");
 
         let r = SegmentReader::open(&path).unwrap();
         assert_eq!(r.kind, KIND_SERIES);
+        assert_eq!(r.version(), VERSION);
         assert_eq!(r.entries.len(), 1);
         assert_eq!(r.time_range(), Some((0, 149 * 600)));
         let payload = r.read_block(&r.entries[0]).unwrap();
@@ -477,11 +781,78 @@ mod tests {
     }
 
     #[test]
+    fn series_index_addresses_every_chunk_with_stats() {
+        let dir = tmpdir("sindex");
+        let path = dir.join("seg-000001.tsdb");
+        let mut w = SegmentWriter::new(KIND_SERIES);
+        let owned = sample_chunks();
+        w.push_series_block(&as_refs(&owned));
+        w.seal(&path).unwrap();
+
+        let r = SegmentReader::open(&path).unwrap();
+        let idx = r.series_index().expect("v2 segment has a series index");
+        assert_eq!(idx.len(), 3);
+        // Sorted by (host, metric).
+        let names: Vec<(&str, &str)> =
+            idx.iter().map(|e| (e.host.as_str(), e.metric.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("c301-101", "cpu_user"),
+                ("c301-101", "mem_used"),
+                ("c301-102", "cpu_user")
+            ]
+        );
+        // Each chunk decodes exactly, and its stats match a fresh scan.
+        for entry in idx {
+            for cref in &entry.chunks {
+                let payload = r.read_block(&r.entries[cref.block_ix as usize]).unwrap();
+                let samples = r.decode_chunk_in_block(&payload, cref).unwrap();
+                assert!(!samples.is_empty());
+                assert_eq!(cref.min_ts, samples.iter().map(|&(ts, _)| ts).min().unwrap());
+                assert_eq!(cref.max_ts, samples.iter().map(|&(ts, _)| ts).max().unwrap());
+                let expect = ChunkStats::from_samples(&samples);
+                assert_eq!(cref.stats.count, expect.count);
+                assert_eq!(cref.stats.sum.to_bits(), expect.sum.to_bits());
+                assert_eq!(cref.stats.min.to_bits(), expect.min.to_bits());
+                assert_eq!(cref.stats.max.to_bits(), expect.max.to_bits());
+                assert_eq!(cref.stats.last.to_bits(), expect.last.to_bits());
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_segments_open_without_series_index() {
+        let dir = tmpdir("v1compat");
+        let path = dir.join("seg-000001.tsdb");
+        let mut w = SegmentWriter::new(KIND_SERIES);
+        let owned = sample_chunks();
+        w.push_series_block(&as_refs(&owned));
+        w.seal_with_version(&path, 1).unwrap();
+
+        let r = SegmentReader::open(&path).unwrap();
+        assert_eq!(r.version(), 1);
+        assert!(r.series_index().is_none());
+        // Block decode path still works.
+        let payload = r.read_block(&r.entries[0]).unwrap();
+        assert_eq!(r.decode_series_block(&payload).unwrap().len(), 3);
+        // Future versions are rejected by the writer.
+        let w2 = SegmentWriter::new(KIND_SERIES);
+        assert!(matches!(
+            w2.seal_with_version(&dir.join("seg-000002.tsdb"), VERSION + 1),
+            Err(TsdbError::BadVersion(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupting_any_byte_is_detected_or_harmless() {
         let dir = tmpdir("corrupt");
         let path = dir.join("seg-000001.tsdb");
         let mut w = SegmentWriter::new(KIND_SERIES);
-        w.push_series_block(&sample_chunks());
+        let owned = sample_chunks();
+        w.push_series_block(&as_refs(&owned));
         w.seal(&path).unwrap();
         let good = fs::read(&path).unwrap();
 
@@ -510,7 +881,8 @@ mod tests {
         let dir = tmpdir("trunc");
         let path = dir.join("seg-000001.tsdb");
         let mut w = SegmentWriter::new(KIND_SERIES);
-        w.push_series_block(&sample_chunks());
+        let owned = sample_chunks();
+        w.push_series_block(&as_refs(&owned));
         w.seal(&path).unwrap();
         let good = fs::read(&path).unwrap();
         for cut in 0..good.len() {
@@ -528,21 +900,18 @@ mod tests {
         let dir = tmpdir("multi");
         let path = dir.join("seg-000002.tsdb");
         let mut w = SegmentWriter::new(KIND_SERIES);
-        w.push_series_block(&[(
-            "h1".into(),
-            "m".into(),
-            vec![(100, 1u64), (200, 2)],
-        )]);
-        w.push_series_block(&[(
-            "h2".into(),
-            "m".into(),
-            vec![(5000, 3u64), (9000, 4)],
-        )]);
+        w.push_series_block(&[("h1", "m", &[(100, 1u64), (200, 2)][..])]);
+        w.push_series_block(&[("h2", "m", &[(5000, 3u64), (9000, 4)][..])]);
         w.seal(&path).unwrap();
         let r = SegmentReader::open(&path).unwrap();
         assert_eq!(r.entries.len(), 2);
         assert_eq!((r.entries[0].min_ts, r.entries[0].max_ts), (100, 200));
         assert_eq!((r.entries[1].min_ts, r.entries[1].max_ts), (5000, 9000));
+        // The series index spans both blocks.
+        let idx = r.series_index().unwrap();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx[0].chunks[0].block_ix, 0);
+        assert_eq!(idx[1].chunks[0].block_ix, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

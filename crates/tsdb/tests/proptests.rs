@@ -9,8 +9,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
 use supremm_tsdb::codec::{decode_chunk, encode_chunk};
+use supremm_tsdb::segment::{SegmentWriter, KIND_SERIES};
 use supremm_tsdb::wal::{Wal, WalRecord};
-use supremm_tsdb::{Selector, Tsdb};
+use supremm_tsdb::{Agg, DbOptions, Selector, Tsdb};
 
 fn tmpdir(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -31,7 +32,166 @@ fn samples_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
     prop::collection::vec((any::<u64>(), any::<u64>()), 0..200)
 }
 
+/// Tiny chunks/blocks so even small random stores span many chunks,
+/// blocks, and segments — the shapes the series index has to get right.
+fn small_opts() -> DbOptions {
+    DbOptions { chunk_samples: 8, block_chunks: 2 }
+}
+
+/// Store-building ops: (host, metric, ts, value bits, action) where
+/// action 2 flushes and action 3 flushes+compacts after the append.
+fn store_ops() -> impl Strategy<Value = Vec<(u8, u8, u64, u64, u8)>> {
+    prop::collection::vec((0u8..3, 0u8..2, 0u64..500, any::<u64>(), 0u8..4), 1..120)
+}
+
+fn build_store(dir: &std::path::Path, ops: &[(u8, u8, u64, u64, u8)]) -> Tsdb {
+    let mut db = Tsdb::open_with(dir, small_opts()).unwrap();
+    for (host, metric, ts, bits, action) in ops {
+        db.append(&format!("h{host}"), &format!("m{metric}"), *ts, f64::from_bits(*bits))
+            .unwrap();
+        match action {
+            2 => db.flush().unwrap(),
+            3 => {
+                db.flush().unwrap();
+                db.compact().unwrap();
+            }
+            _ => {}
+        }
+    }
+    db.sync().unwrap();
+    db
+}
+
+/// Query output with values as raw bit patterns, so NaN payloads and
+/// signed zeros must match exactly — "close enough" is a bug here.
+fn bits_view(
+    result: Vec<(supremm_tsdb::SeriesKey, Vec<(u64, f64)>)>,
+) -> Vec<(String, String, Vec<(u64, u64)>)> {
+    result
+        .into_iter()
+        .map(|(k, pts)| {
+            (
+                k.host.to_string(),
+                k.metric.to_string(),
+                pts.into_iter().map(|(ts, v)| (ts, v.to_bits())).collect(),
+            )
+        })
+        .collect()
+}
+
+fn agg_from(ix: u8) -> Agg {
+    match ix % 6 {
+        0 => Agg::Mean,
+        1 => Agg::Sum,
+        2 => Agg::Min,
+        3 => Agg::Max,
+        4 => Agg::Last,
+        _ => Agg::Count,
+    }
+}
+
+fn selector_from(host: u8, metric: u8) -> Selector {
+    // 3 / 2 name the hosts/metrics `store_ops` never writes, so the
+    // no-match path is exercised too; 4 / 3 mean "any".
+    Selector {
+        host: (host < 4).then(|| format!("h{host}")),
+        metric: (metric < 3).then(|| format!("m{metric}")),
+    }
+}
+
 proptest! {
+    #[test]
+    fn indexed_query_is_bit_identical_to_naive(
+        ops in store_ops(),
+        queries in prop::collection::vec((0u8..5, 0u8..4, 0u64..600, 0u64..600), 1..8),
+    ) {
+        let dir = tmpdir("diff-query");
+        let db = build_store(&dir, &ops);
+        // Reopen so every flushed segment is read back through its
+        // footer index, not remembered from the write path.
+        drop(db);
+        let db = Tsdb::open_with(&dir, small_opts()).unwrap();
+        for (host, metric, t0, len) in &queries {
+            let sel = selector_from(*host, *metric);
+            let (t0, t1) = (*t0, t0.saturating_add(*len));
+            let fast = bits_view(db.query(&sel, t0, t1).unwrap());
+            let naive = bits_view(db.query_naive(&sel, t0, t1).unwrap());
+            prop_assert_eq!(fast, naive, "selector {:?} range [{}, {}]", sel, t0, t1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preagg_downsample_is_bit_identical_to_naive(
+        ops in store_ops(),
+        queries in prop::collection::vec(
+            (0u8..5, 0u8..4, 0u64..600, 0u64..600, 1u64..80, 0u8..6),
+            1..8,
+        ),
+    ) {
+        let dir = tmpdir("diff-downsample");
+        let db = build_store(&dir, &ops);
+        drop(db);
+        let db = Tsdb::open_with(&dir, small_opts()).unwrap();
+        for (host, metric, t0, len, bin, agg_ix) in &queries {
+            let sel = selector_from(*host, *metric);
+            let (t0, t1) = (*t0, t0.saturating_add(*len));
+            let agg = agg_from(*agg_ix);
+            let fast = bits_view(db.downsample(&sel, t0, t1, *bin, agg).unwrap());
+            let naive = bits_view(db.downsample_naive(&sel, t0, t1, *bin, agg).unwrap());
+            prop_assert_eq!(
+                fast, naive,
+                "selector {:?} range [{}, {}] bin {} agg {:?}", sel, t0, t1, bin, agg
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_segments_without_series_index_still_answer_queries(
+        v1_samples in prop::collection::vec((0u8..2, 0u8..2, 0u64..300, any::<u64>()), 1..60),
+        ops in store_ops(),
+        bin in 1u64..50,
+        agg_ix in 0u8..6,
+    ) {
+        let dir = tmpdir("diff-v1");
+        // Hand-seal an index-less v1 segment the way the previous
+        // release's writer laid it out (one-release read shim).
+        let mut by_series: std::collections::BTreeMap<(String, String),
+            std::collections::BTreeMap<u64, u64>> = std::collections::BTreeMap::new();
+        for (host, metric, ts, bits) in &v1_samples {
+            by_series
+                .entry((format!("h{host}"), format!("m{metric}")))
+                .or_default()
+                .insert(*ts, *bits);
+        }
+        let owned: Vec<(String, String, Vec<(u64, u64)>)> = by_series
+            .into_iter()
+            .map(|((h, m), pts)| (h, m, pts.into_iter().collect()))
+            .collect();
+        let chunks: Vec<(&str, &str, &[(u64, u64)])> = owned
+            .iter()
+            .map(|(h, m, pts)| (h.as_str(), m.as_str(), pts.as_slice()))
+            .collect();
+        let mut w = SegmentWriter::new(KIND_SERIES);
+        w.push_series_block(&chunks);
+        w.seal_with_version(&dir.join("seg-000001.tsdb"), 1).unwrap();
+
+        // Layer v2 writes (and their index) on top, then reopen.
+        let db = build_store(&dir, &ops);
+        drop(db);
+        let db = Tsdb::open_with(&dir, small_opts()).unwrap();
+        let all = Selector::all();
+        let fast = bits_view(db.query(&all, 0, u64::MAX).unwrap());
+        let naive = bits_view(db.query_naive(&all, 0, u64::MAX).unwrap());
+        prop_assert_eq!(fast, naive);
+        let agg = agg_from(agg_ix);
+        let fast = bits_view(db.downsample(&all, 0, u64::MAX, bin, agg).unwrap());
+        let naive = bits_view(db.downsample_naive(&all, 0, u64::MAX, bin, agg).unwrap());
+        prop_assert_eq!(fast, naive, "bin {} agg {:?}", bin, agg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn chunk_codec_round_trips_arbitrary_samples(samples in samples_strategy()) {
         let enc = encode_chunk(&samples);

@@ -2,7 +2,7 @@
 //!
 //! XDMoD is a web application; its front end fetches report datasets from
 //! a JSON endpoint. This module is that surface, dependency-free on
-//! `std::net`: a tiny HTTP/1.0 responder exposing
+//! `std::net`: a small HTTP/1.1 responder exposing
 //!
 //! ```text
 //! GET /healthz
@@ -15,13 +15,26 @@
 //! is attached (time-range + host/metric predicates, optional
 //! downsampling with `agg` ∈ mean|sum|min|max|last|count).
 //!
+//! The serve layer is a small thread pool: each worker owns a clone of
+//! the listener and accepts connections independently, so one slow
+//! client never blocks the rest. Connections are HTTP/1.1 persistent
+//! (`Connection: keep-alive` semantics, bounded requests per connection,
+//! short read timeout); HTTP/1.0 clients get the close-per-request
+//! behaviour they expect. Successful `/v1/*` responses are cached in a
+//! bounded LRU ([`ResponseCache`]) keyed by the canonical query string
+//! and the store's mutation generation — any write to the store
+//! invalidates every cached entry at the next lookup.
+//!
 //! The request handling is a pure function ([`handle_with_store`]) so the
-//! protocol logic is unit-testable without sockets; [`serve`] is the thin
-//! accept-loop wrapper.
+//! protocol logic is unit-testable without sockets; [`serve`] /
+//! [`serve_shared`] are the accept-loop wrappers.
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
-use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Duration;
 
 use supremm_metrics::json::{obj, Value};
 use supremm_metrics::KeyMetric;
@@ -47,8 +60,14 @@ impl Response {
         Response::json(status, format!("{{\"error\":{:?}}}", msg))
     }
 
-    /// Serialise as an HTTP/1.0 message.
+    /// Serialise as a close-delimited HTTP/1.1 message.
     pub fn to_http(&self) -> String {
+        self.to_http_with(false)
+    }
+
+    /// Serialise as HTTP/1.1, advertising whether the connection stays
+    /// open afterwards.
+    pub fn to_http_with(&self, keep_alive: bool) -> String {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
@@ -56,11 +75,12 @@ impl Response {
             _ => "Error",
         };
         format!(
-            "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
             self.body
         )
     }
@@ -92,19 +112,25 @@ fn parse_statistic(s: &str, metric: Option<&str>) -> Option<Statistic> {
 }
 
 /// Split a target like `/v1/query?a=b&c=d` into path and query pairs.
-/// A non-empty query segment without `=` is malformed: the client gets
-/// a 400, not a silently dropped parameter.
+/// A non-empty query segment without `=` is malformed, and so is a
+/// repeated key (`?host=a&host=b` — which one did the client mean?):
+/// the client gets a 400, not a silently dropped parameter.
 fn split_target(target: &str) -> Result<(&str, Vec<(&str, &str)>), String> {
     let Some((path, qs)) = target.split_once('?') else {
         return Ok((target, Vec::new()));
     };
-    let mut params = Vec::new();
+    let mut params: Vec<(&str, &str)> = Vec::new();
     for kv in qs.split('&') {
         if kv.is_empty() {
             continue;
         }
         match kv.split_once('=') {
-            Some((k, v)) => params.push((k, v)),
+            Some((k, v)) => {
+                if params.iter().any(|&(seen, _)| seen == k) {
+                    return Err(format!("duplicate query parameter {k:?}"));
+                }
+                params.push((k, v));
+            }
             None => return Err(format!("malformed query parameter {kv:?}")),
         }
     }
@@ -258,38 +284,366 @@ pub fn handle_with_store(
     }
 }
 
+// --- response cache -------------------------------------------------------
+
+/// Tuning for the pooled serve loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Accept-loop worker threads.
+    pub threads: usize,
+    /// Max cached responses; 0 disables the cache.
+    pub cache_entries: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { threads: 4, cache_entries: 256 }
+    }
+}
+
+struct CacheEntry {
+    generation: u64,
+    last_used: u64,
+    response: Response,
+}
+
+struct CacheInner {
+    map: BTreeMap<String, CacheEntry>,
+    tick: u64,
+}
+
+/// Bounded LRU cache of successful `/v1/*` responses, keyed by the
+/// canonical query string (path + sorted parameters). Every entry
+/// remembers the store generation it was computed at; a lookup with a
+/// newer generation is a miss and drops the stale entry, so writers
+/// invalidate the cache simply by mutating the store.
+pub struct ResponseCache {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl ResponseCache {
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: Mutex::new(CacheInner { map: BTreeMap::new(), tick: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        // A panic mid-insert can't corrupt a BTreeMap logically; recover.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get(&self, key: &str, generation: u64) -> Option<Response> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let stale = match inner.map.get_mut(key) {
+            Some(entry) if entry.generation == generation => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.response.clone());
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            inner.map.remove(key);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    pub fn put(&self, key: String, generation: u64, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, CacheEntry { generation, last_used: tick, response });
+        while inner.map.len() > self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Canonical cache key for a request line, or `None` if the request is
+/// not cacheable (non-GET, non-`/v1/` path, or malformed — those must
+/// re-run so errors stay fresh).
+fn cache_key(request_line: &str) -> Option<String> {
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next()?, parts.next()?);
+    if method != "GET" {
+        return None;
+    }
+    let (path, mut params) = split_target(target).ok()?;
+    if !path.starts_with("/v1/") {
+        return None;
+    }
+    params.sort_unstable();
+    let mut key = String::with_capacity(target.len());
+    key.push_str(path);
+    for (i, (k, v)) in params.iter().enumerate() {
+        key.push(if i == 0 { '?' } else { '&' });
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    Some(key)
+}
+
+/// How the serve loop reaches the (optional) store.
+#[derive(Clone, Copy)]
+enum StoreView<'a> {
+    None,
+    /// Exclusive reader: the store cannot change while serving.
+    Direct(&'a Tsdb),
+    /// Shared with writers; read-locked per request.
+    Shared(&'a RwLock<Tsdb>),
+}
+
+/// Answer one request line, consulting the cache first. For the shared
+/// view the read lock covers the generation probe *and* the compute, so
+/// a cached entry can never be tagged with a generation it didn't see.
+fn respond(
+    table: &JobTable,
+    view: StoreView<'_>,
+    cache: Option<&ResponseCache>,
+    request_line: &str,
+) -> Response {
+    match view {
+        StoreView::None => respond_with(table, None, cache, request_line),
+        StoreView::Direct(db) => respond_with(table, Some(db), cache, request_line),
+        StoreView::Shared(lock) => {
+            let db = lock.read().unwrap_or_else(|e| e.into_inner());
+            respond_with(table, Some(&db), cache, request_line)
+        }
+    }
+}
+
+fn respond_with(
+    table: &JobTable,
+    store: Option<&Tsdb>,
+    cache: Option<&ResponseCache>,
+    request_line: &str,
+) -> Response {
+    let Some(cache) = cache else {
+        return handle_with_store(table, store, request_line);
+    };
+    let Some(key) = cache_key(request_line) else {
+        return handle_with_store(table, store, request_line);
+    };
+    let generation = store.map(|db| db.generation()).unwrap_or(0);
+    if let Some(hit) = cache.get(&key, generation) {
+        return hit;
+    }
+    let resp = handle_with_store(table, store, request_line);
+    if resp.status == 200 {
+        cache.put(key, generation, resp.clone());
+    }
+    resp
+}
+
+// --- connection + accept loops --------------------------------------------
+
+/// Hard ceiling on requests served per connection before forcing a
+/// close (bounds how long one client can pin a worker).
+const MAX_REQUESTS_PER_CONN: usize = 256;
+/// Per-read timeout; an idle keep-alive connection is dropped after
+/// this long with no bytes.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+/// Oversized request headers are rejected outright.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serve one connection until the client closes, asks to close, idles
+/// past the read timeout, or exhausts the per-connection budget.
+fn serve_connection(
+    mut stream: TcpStream,
+    table: &JobTable,
+    view: StoreView<'_>,
+    cache: Option<&ResponseCache>,
+) {
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    // Responses are latency-bound request/reply exchanges; leaving Nagle
+    // on costs a delayed-ACK round (~40 ms) per keep-alive request.
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 4096];
+    let mut served = 0usize;
+    loop {
+        let header_end = loop {
+            if let Some(ix) = find_header_end(&buf) {
+                break Some(ix);
+            }
+            if buf.len() > MAX_HEADER_BYTES {
+                let resp = Response::error(400, "request header too large");
+                let _ = stream.write_all(resp.to_http_with(false).as_bytes());
+                return;
+            }
+            match stream.read(&mut scratch) {
+                Ok(0) => break None,
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(_) => break None, // timeout or reset
+            }
+        };
+        let Some(end) = header_end else {
+            // EOF/timeout before a blank line. Old-style clients send a
+            // bare request line and wait; answer it once and close.
+            if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&buf[..nl]);
+                let resp = respond(table, view, cache, line.trim_end());
+                let _ = stream.write_all(resp.to_http_with(false).as_bytes());
+            }
+            return;
+        };
+        let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+        buf.drain(..end + 4);
+        let mut lines = head.lines();
+        let request_line = lines.next().unwrap_or("").trim_end();
+        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an
+        // explicit Connection header overrides either way.
+        let mut keep = request_line.ends_with("HTTP/1.1");
+        for header in lines {
+            let Some((name, value)) = header.split_once(':') else { continue };
+            if name.trim().eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+        }
+        let resp = respond(table, view, cache, request_line);
+        served += 1;
+        let keep = keep && served < MAX_REQUESTS_PER_CONN;
+        if stream.write_all(resp.to_http_with(keep).as_bytes()).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// The pooled accept loop: each worker owns a listener clone and
+/// accepts independently until `shutdown` flips.
+fn serve_pooled(
+    table: &JobTable,
+    view: StoreView<'_>,
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let threads = opts.threads.max(1);
+    let mut listeners = Vec::with_capacity(threads);
+    for _ in 1..threads {
+        listeners.push(listener.try_clone()?);
+    }
+    listeners.push(listener);
+    let cache = ResponseCache::new(opts.cache_entries);
+    std::thread::scope(|scope| {
+        for l in listeners {
+            let cache = &cache;
+            scope.spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match l.accept() {
+                        Ok((stream, _)) => {
+                            serve_connection(stream, table, view, Some(cache));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => {
+                            // Transient accept errors (e.g. aborted
+                            // handshake) should not kill the worker.
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
 /// Accept-loop: serve requests until `shutdown` flips. Binds are the
 /// caller's job so tests can use an ephemeral port.
 pub fn serve(table: &JobTable, listener: TcpListener, shutdown: &AtomicBool) -> std::io::Result<()> {
     serve_with_store(table, None, listener, shutdown)
 }
 
-/// [`serve`], with an optional `tsdb` store behind `/v1/series`.
+/// [`serve`], with an optional read-only `tsdb` store behind
+/// `/v1/series`.
 pub fn serve_with_store(
     table: &JobTable,
     store: Option<&Tsdb>,
     listener: TcpListener,
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
-    listener.set_nonblocking(true)?;
-    while !shutdown.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                stream.set_nonblocking(false)?;
-                let mut buf = [0u8; 4096];
-                let n = stream.read(&mut buf).unwrap_or(0);
-                let request = String::from_utf8_lossy(&buf[..n]);
-                let line = request.lines().next().unwrap_or("");
-                let resp = handle_with_store(table, store, line);
-                let _ = stream.write_all(resp.to_http().as_bytes());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
+    let view = match store {
+        Some(db) => StoreView::Direct(db),
+        None => StoreView::None,
+    };
+    serve_pooled(table, view, listener, shutdown, &ServeOptions::default())
+}
+
+/// [`serve`], with a store that concurrent writers may mutate: each
+/// request takes the read lock, and the response cache keys on the
+/// store's mutation generation so writes invalidate it.
+pub fn serve_shared(
+    table: &JobTable,
+    store: Option<&RwLock<Tsdb>>,
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    opts: &ServeOptions,
+) -> std::io::Result<()> {
+    let view = match store {
+        Some(lock) => StoreView::Shared(lock),
+        None => StoreView::None,
+    };
+    serve_pooled(table, view, listener, shutdown, opts)
 }
 
 #[cfg(test)]
@@ -406,6 +760,21 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_query_parameters_get_a_400() {
+        let t = table();
+        for bad in [
+            "GET /v1/series?host=a&host=b HTTP/1.0",
+            "GET /v1/series?host=a&metric=m&host=a HTTP/1.0",
+            "GET /v1/query?dimension=user&statistic=job_count&dimension=queue HTTP/1.0",
+            "GET /v1/query?top=1&top=2&dimension=user&statistic=job_count HTTP/1.0",
+        ] {
+            let r = handle(&t, bad);
+            assert_eq!(r.status, 400, "{bad} -> {}", r.body);
+            assert!(r.body.contains("duplicate"), "{bad} -> {}", r.body);
+        }
+    }
+
+    #[test]
     fn series_endpoint_answers_from_the_store() {
         let dir = std::env::temp_dir().join(format!("serve-series-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -445,6 +814,88 @@ mod tests {
     }
 
     #[test]
+    fn response_cache_is_lru_and_generation_keyed() {
+        let cache = ResponseCache::new(2);
+        let resp = |s: &str| Response::json(200, s.to_string());
+        cache.put("a".into(), 1, resp("A"));
+        cache.put("b".into(), 1, resp("B"));
+        assert_eq!(cache.get("a", 1).unwrap().body, "A");
+        // Inserting a third entry evicts the least recently used: "b".
+        cache.put("c".into(), 1, resp("C"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("b", 1).is_none());
+        assert!(cache.get("a", 1).is_some());
+        // A newer generation misses and drops the stale entry.
+        assert!(cache.get("a", 2).is_none());
+        assert!(cache.get("a", 1).is_none(), "stale entry evicted on mismatch");
+        assert!(cache.hits() >= 2);
+        assert!(cache.misses() >= 2);
+        // Capacity 0 disables caching entirely.
+        let off = ResponseCache::new(0);
+        off.put("x".into(), 1, resp("X"));
+        assert!(off.get("x", 1).is_none());
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn cached_series_responses_invalidate_on_store_writes() {
+        let dir = std::env::temp_dir().join(format!("serve-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = Tsdb::open(&dir).unwrap();
+        db.append_batch("h", "m", &[(0, 1.0)]).unwrap();
+        let t = table();
+        let cache = ResponseCache::new(16);
+        let line = "GET /v1/series?host=h&metric=m HTTP/1.1";
+        let first = respond_with(&t, Some(&db), Some(&cache), line);
+        assert_eq!(first.status, 200);
+        // Same generation: served from cache, bit-identical.
+        let again = respond_with(&t, Some(&db), Some(&cache), line);
+        assert_eq!(first, again);
+        assert_eq!(cache.hits(), 1);
+        // Equivalent query, different parameter order: same cache slot.
+        let reordered =
+            respond_with(&t, Some(&db), Some(&cache), "GET /v1/series?metric=m&host=h HTTP/1.1");
+        assert_eq!(reordered, first);
+        assert_eq!(cache.hits(), 2);
+        // A write bumps the generation; the next read recomputes.
+        db.append_batch("h", "m", &[(600, 2.0)]).unwrap();
+        let after = respond_with(&t, Some(&db), Some(&cache), line);
+        assert_ne!(after, first, "stale response must not be served");
+        assert!(after.body.contains("600"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Read exactly one HTTP response (headers + Content-Length body).
+    fn read_response(stream: &mut std::net::TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 1024];
+        let header_end = loop {
+            if let Some(ix) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break ix;
+            }
+            let n = stream.read(&mut scratch).unwrap();
+            assert!(n > 0, "connection closed mid-headers");
+            buf.extend_from_slice(&scratch[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("Content-Length header");
+        while buf.len() < header_end + 4 + content_length {
+            let n = stream.read(&mut scratch).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&scratch[..n]);
+        }
+        String::from_utf8_lossy(&buf[..header_end + 4 + content_length]).into_owned()
+    }
+
+    #[test]
     fn live_socket_round_trip() {
         use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
@@ -464,10 +915,137 @@ mod tests {
             .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
-        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
         assert!(response.contains("\"jobs\":3"), "{response}");
 
         shutdown.store(true, Ordering::Relaxed);
         handle_thread.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let t = table();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle_thread = std::thread::spawn(move || {
+            let _ = serve(&t, listener, &flag);
+        });
+
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        // HTTP/1.1 defaults to keep-alive: three requests, one socket.
+        for _ in 0..3 {
+            stream
+                .write_all(b"GET /v1/summary HTTP/1.1\r\nHost: test\r\n\r\n")
+                .unwrap();
+            let response = read_response(&mut stream);
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("Connection: keep-alive"), "{response}");
+            assert!(response.contains("\"jobs\":3"), "{response}");
+        }
+        // An explicit Connection: close is honoured and the socket ends.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let response = read_response(&mut stream);
+        assert!(response.contains("Connection: close"), "{response}");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server should close after Connection: close");
+
+        shutdown.store(true, Ordering::Relaxed);
+        handle_thread.join().unwrap();
+    }
+
+    #[test]
+    fn parallel_connections_are_served_concurrently() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let t = table();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let server = std::thread::spawn(move || {
+            let _ = serve(&t, listener, &flag);
+        });
+
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                    stream
+                        .write_all(b"GET /v1/summary HTTP/1.1\r\nHost: t\r\n\r\n")
+                        .unwrap();
+                    let response = read_response(&mut stream);
+                    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn shared_store_serves_and_sees_writes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("serve-shared-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut db = Tsdb::open(&dir).unwrap();
+        db.append_batch("h", "m", &[(0, 1.0)]).unwrap();
+        let store = Arc::new(RwLock::new(db));
+        let t = table();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let flag = shutdown.clone();
+        let server_store = store.clone();
+        let server = std::thread::spawn(move || {
+            let _ = serve_shared(
+                &t,
+                Some(&server_store),
+                listener,
+                &flag,
+                &ServeOptions { threads: 2, cache_entries: 32 },
+            );
+        });
+
+        let fetch = || {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /v1/series?host=h&metric=m HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            read_response(&mut stream)
+        };
+        let before = fetch();
+        assert!(before.contains("HTTP/1.1 200 OK"), "{before}");
+        // Cached: an identical fetch is consistent.
+        assert_eq!(fetch(), before);
+        // A concurrent write invalidates the cache via the generation.
+        store
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .append_batch("h", "m", &[(600, 2.0)])
+            .unwrap();
+        let after = fetch();
+        assert_ne!(after, before);
+        assert!(after.contains("600"), "{after}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
