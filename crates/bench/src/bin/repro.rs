@@ -16,7 +16,11 @@
 //! throughput), and `BENCH_query.json` with the query-path numbers
 //! (series-indexed reads vs. the naive full decode, pre-aggregated
 //! downsampling, and `/v1/series` served cold vs. from the response
-//! cache) so runs can be compared across revisions.
+//! cache) so runs can be compared across revisions, and
+//! `BENCH_metrics.json` with the run's live `/v1/metrics` telemetry
+//! snapshot (the self-observability counters and latency histograms the
+//! pipeline, storage engine and query path recorded while producing the
+//! numbers above).
 //!
 //! `--store-dir DIR` flushes each machine's products through the `tsdb`
 //! storage engine rooted at `DIR/<machine>` (series store + segment job
@@ -491,6 +495,27 @@ fn write_query_bench(root: &std::path::Path) -> std::io::Result<()> {
     std::fs::write("BENCH_query.json", s)
 }
 
+/// Dump the process-global obs registry — populated by every pipeline,
+/// tsdb and query-path stage this run executed — through the same code
+/// path `/v1/metrics?format=json` uses, so CI archives a live telemetry
+/// snapshot next to the bench numbers.
+fn write_metrics_snapshot() -> std::io::Result<()> {
+    let table = supremm_warehouse::JobTable::default();
+    let resp = supremm_xdmod::serve::handle_with_obs(
+        &table,
+        None,
+        &supremm_obs::global(),
+        "GET /v1/metrics?format=json HTTP/1.1",
+    );
+    if resp.status != 200 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Other,
+            format!("metrics endpoint: {}", resp.body),
+        ));
+    }
+    std::fs::write("BENCH_metrics.json", resp.body)
+}
+
 fn main() {
     let args = parse_args();
     let mut ranger_cfg = ClusterConfig::ranger().scaled(args.nodes, args.days);
@@ -547,6 +572,10 @@ fn main() {
         match write_query_bench(&bench_root) {
             Ok(()) => eprintln!("[repro] wrote BENCH_query.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_query.json: {e}"),
+        }
+        match write_metrics_snapshot() {
+            Ok(()) => eprintln!("[repro] wrote BENCH_metrics.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_metrics.json: {e}"),
         }
     }
 

@@ -17,9 +17,11 @@
 //! supremm diagnose --data data/
 //!     the ANCOR-style failure diagnosis over the job table + syslog.jsonl
 //!
-//! supremm serve --data data/ --addr 127.0.0.1:8080
+//! supremm serve --data data/ --addr 127.0.0.1:8080 [--slow-query-ms N]
 //!     serve the JSON query API (GET /healthz, /v1/summary, /v1/query,
-//!     and /v1/series from the time-series store when present)
+//!     /v1/series from the time-series store when present, and
+//!     /v1/metrics with the process's own telemetry); requests slower
+//!     than the threshold land in the slow-query log
 //! ```
 //!
 //! The job table reads both the segment format and the legacy
@@ -265,7 +267,17 @@ fn serve_cmd(args: &[String]) {
         if store.is_some() { " + time-series store" } else { "" }
     );
     let shutdown = std::sync::atomic::AtomicBool::new(false);
-    let opts = supremm_xdmod::serve::ServeOptions::default();
+    let slow_query_micros = arg_value(args, "--slow-query-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| die("--slow-query-ms needs an integer"))
+                .saturating_mul(1000)
+        })
+        .unwrap_or(supremm_xdmod::serve::ServeOptions::default().slow_query_micros);
+    let opts = supremm_xdmod::serve::ServeOptions {
+        slow_query_micros,
+        ..supremm_xdmod::serve::ServeOptions::default()
+    };
     supremm_xdmod::serve::serve_shared(&table, store.as_ref(), listener, &shutdown, &opts)
         .unwrap_or_else(|e| die(&format!("serve: {e}")));
 }
@@ -288,5 +300,11 @@ fn diagnose_cmd(args: &[String]) {
     }
     for d in diagnoses.iter().take(10) {
         println!("  job {} ({}): {} — {}", d.job, d.exit.name(), d.cause.name(), d.note);
+    }
+    // Self-observability: surface deprecation shims and slow queries
+    // recorded while this process loaded the data.
+    let report = diagnose::obs_report(&supremm_obs::global().snapshot());
+    if !report.is_empty() {
+        print!("{report}");
     }
 }

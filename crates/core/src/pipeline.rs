@@ -73,6 +73,10 @@ pub struct PipelineOptions {
     /// job table in `<dir>/jobs.tsdb`. `None` keeps everything in
     /// memory. Both paths produce bit-identical output.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Telemetry registry the pipeline reports into (file/byte/record
+    /// counters, quarantine tallies, per-stage durations). `None` uses
+    /// the process-wide [`supremm_obs::global`] registry.
+    pub obs: Option<supremm_obs::ObsHandle>,
 }
 
 impl Default for PipelineOptions {
@@ -85,6 +89,42 @@ impl Default for PipelineOptions {
             fault_plan: None,
             strict_ingest: false,
             store_dir: None,
+            obs: None,
+        }
+    }
+}
+
+/// Obs handles cached once per run; the per-file hot path does two
+/// relaxed atomic adds.
+#[derive(Clone)]
+struct PipelineMetrics {
+    files_total: supremm_obs::Counter,
+    bytes_total: supremm_obs::Counter,
+    records_total: supremm_obs::Counter,
+    quarantined_samples_total: supremm_obs::Counter,
+    quarantined_bytes_total: supremm_obs::Counter,
+    files_lost_total: supremm_obs::Counter,
+    worker_panics_total: supremm_obs::Counter,
+    stage_collect: supremm_obs::Histogram,
+    stage_ingest: supremm_obs::Histogram,
+    stage_overlap: supremm_obs::Histogram,
+    stage_store: supremm_obs::Histogram,
+}
+
+impl PipelineMetrics {
+    fn new(obs: &supremm_obs::ObsRegistry) -> PipelineMetrics {
+        PipelineMetrics {
+            files_total: obs.counter("pipeline_files_consumed_total"),
+            bytes_total: obs.counter("pipeline_bytes_consumed_total"),
+            records_total: obs.counter("pipeline_records_total"),
+            quarantined_samples_total: obs.counter("pipeline_quarantined_samples_total"),
+            quarantined_bytes_total: obs.counter("pipeline_quarantined_bytes_total"),
+            files_lost_total: obs.counter("pipeline_files_lost_total"),
+            worker_panics_total: obs.counter("pipeline_worker_panics_total"),
+            stage_collect: obs.histogram("pipeline_stage_micros{stage=\"collect\"}"),
+            stage_ingest: obs.histogram("pipeline_stage_micros{stage=\"ingest\"}"),
+            stage_overlap: obs.histogram("pipeline_stage_micros{stage=\"collect_ingest\"}"),
+            stage_store: obs.histogram("pipeline_stage_micros{stage=\"store\"}"),
         }
     }
 }
@@ -344,18 +384,30 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
         strict: opts.strict_ingest,
     };
 
+    let obs = opts.obs.clone().unwrap_or_else(supremm_obs::global);
+    let met = PipelineMetrics::new(&obs);
+
     let mut fault_log = InjectionLog::default();
     let (streams, acc, archive, pool) = if opts.overlap {
-        run_overlapped(&cfg, opts, consume_opts, &mut fault_log)
+        let t = supremm_obs::Timer::start();
+        let out = run_overlapped(&cfg, opts, consume_opts, &mut fault_log, &met);
+        met.stage_overlap.observe_timer(t);
+        out
     } else {
         // Batch mode: materialise the full archive first, then one
         // parallel pass over it.
         let mut archive = RawArchive::new();
+        let t = supremm_obs::Timer::start();
         let streams = drive_simulation(
             &cfg,
             faulted(opts.fault_plan, &mut fault_log, |key, text| archive.insert(key, text)),
         );
+        met.stage_collect.observe_timer(t);
+        let t = supremm_obs::Timer::start();
         let acc = supremm_warehouse::consume_archive(&archive, consume_opts);
+        met.stage_ingest.observe_timer(t);
+        met.files_total.add(archive.len() as u64);
+        met.bytes_total.add(acc.total_bytes());
         (streams, acc, archive, PoolFailures::default())
     };
 
@@ -365,11 +417,22 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
     out.stats.worker_panics = pool.worker_panics;
     out.stats.files_lost = pool.files_lost;
 
+    met.records_total.add(out.stats.records_seen as u64);
+    met.quarantined_samples_total.add(out.stats.samples_quarantined as u64);
+    met.quarantined_bytes_total.add(out.stats.bytes_quarantined);
+    met.files_lost_total.add(out.stats.files_lost as u64);
+    met.worker_panics_total.add(out.stats.worker_panics as u64);
+
     let table = JobTable::new(out.records);
     let series = out.series.expect("pipeline always bins");
     let (table, series) = match &opts.store_dir {
         None => (table, series),
-        Some(dir) => store_and_reload(dir, table, series),
+        Some(dir) => {
+            let t = supremm_obs::Timer::start();
+            let reloaded = store_and_reload(dir, table, series);
+            met.stage_store.observe_timer(t);
+            reloaded
+        }
     };
 
     MachineDataset {
@@ -460,6 +523,7 @@ fn pooled_ingest<T>(
     consume_opts: ConsumeOptions,
     workers: usize,
     keep: bool,
+    met: &PipelineMetrics,
     produce: impl FnOnce(&mut dyn FnMut(RawFileKey, String)) -> T,
 ) -> (T, StreamAccumulator, RawArchive, PoolFailures) {
     let workers = workers.max(1);
@@ -471,6 +535,7 @@ fn pooled_ingest<T>(
         for _ in 0..workers {
             let (tx, rx) = mpsc::sync_channel::<(RawFileKey, String)>(depth);
             senders.push(tx);
+            let met = met.clone();
             handles.push(scope.spawn(move || {
                 let mut acc = StreamAccumulator::new(consume_opts);
                 let mut kept: Vec<(RawFileKey, String)> = Vec::new();
@@ -478,6 +543,8 @@ fn pooled_ingest<T>(
                 let mut panics = 0usize;
                 while let Ok((key, text)) = rx.recv() {
                     received += 1;
+                    met.files_total.inc();
+                    met.bytes_total.add(text.len() as u64);
                     let parse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         consume_one(&mut acc, key, &text);
                     }));
@@ -542,10 +609,11 @@ fn run_overlapped(
     opts: &PipelineOptions,
     consume_opts: ConsumeOptions,
     fault_log: &mut InjectionLog,
+    met: &PipelineMetrics,
 ) -> (SimStreams, StreamAccumulator, RawArchive, PoolFailures) {
     let workers = ingest_worker_count(opts);
     let keep = opts.keep_archive;
-    pooled_ingest(consume_opts, workers, keep, |on_file| {
+    pooled_ingest(consume_opts, workers, keep, met, |on_file| {
         drive_simulation(cfg, faulted(opts.fault_plan, fault_log, |key, text| on_file(key, text)))
     })
 }
@@ -761,7 +829,9 @@ mod tests {
             })
             .collect();
 
-        let ((), acc, _archive, failures) = pooled_ingest(opts, 4, false, |on_file| {
+        let obs = supremm_obs::ObsRegistry::new();
+        let met = PipelineMetrics::new(&obs);
+        let ((), acc, _archive, failures) = pooled_ingest(opts, 4, false, &met, |on_file| {
             for (h, text) in texts.iter().enumerate() {
                 on_file(key(h as u32), text.clone());
             }
@@ -785,5 +855,30 @@ mod tests {
         assert_eq!(got.stats, want.stats);
         assert!(got.stats.conservation_holds());
         assert_eq!(got.stats.parse_errors, 8, "all junk: 7 rejected parses + 1 quarantined");
+
+        // The obs registry saw every file and byte the pool consumed.
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("pipeline_files_consumed_total"), Some(8));
+        let total: u64 = texts.iter().map(|t| t.len() as u64).sum();
+        assert_eq!(snap.counter("pipeline_bytes_consumed_total"), Some(total));
+    }
+
+    #[test]
+    fn pipeline_reports_into_an_isolated_registry() {
+        use std::sync::Arc;
+        let obs = Arc::new(supremm_obs::ObsRegistry::new());
+        let cfg = ClusterConfig::ranger().scaled(8, 1);
+        let ds = run_pipeline(cfg, &PipelineOptions { obs: Some(obs.clone()), ..Default::default() });
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("pipeline_files_consumed_total"),
+            Some(ds.ingest_stats.files as u64)
+        );
+        assert_eq!(snap.counter("pipeline_bytes_consumed_total"), Some(ds.raw_total_bytes));
+        assert_eq!(snap.counter("pipeline_records_total"), Some(ds.ingest_stats.records_seen as u64));
+        assert_eq!(snap.counter("pipeline_worker_panics_total"), Some(0));
+        assert!(snap
+            .histogram("pipeline_stage_micros{stage=\"collect_ingest\"}")
+            .is_some_and(|h| h.count == 1 && h.sum > 0));
     }
 }

@@ -59,6 +59,7 @@ pub const R2_ZONES: &[&str] = &[
     "metrics::json",
     "tsdb::db",
     "tsdb::segment",
+    "obs",
 ];
 
 /// Bit-exact codec arithmetic.

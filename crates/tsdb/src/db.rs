@@ -37,6 +37,8 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use supremm_obs::{Counter, Gauge, Histogram, ObsHandle, Timer};
+
 use crate::segment::{
     ChunkRef, SegmentReader, SegmentWriter, SeriesEntry, TsdbError, KIND_SERIES,
 };
@@ -162,6 +164,49 @@ pub struct Tsdb {
     generation: u64,
     recovered_samples: u64,
     recovered_truncated_bytes: u64,
+    met: TsdbMetrics,
+}
+
+/// Obs handles cached at open so the write/query hot paths never touch
+/// the registry lock (see DESIGN.md § "Self-observability").
+struct TsdbMetrics {
+    obs: ObsHandle,
+    wal_append_micros: Histogram,
+    wal_fsync_micros: Histogram,
+    mem_samples: Gauge,
+    segments: Gauge,
+    chunks: Gauge,
+    flush_micros: Histogram,
+    flush_bytes_total: Counter,
+    compact_micros: Histogram,
+    compact_bytes_total: Counter,
+    query_index_segments_total: Counter,
+    query_v1_fallback_total: Counter,
+    v1_segments_open_total: Counter,
+}
+
+impl TsdbMetrics {
+    fn new(obs: ObsHandle) -> TsdbMetrics {
+        TsdbMetrics {
+            obs: obs.clone(),
+            wal_append_micros: obs.histogram("tsdb_wal_append_micros"),
+            wal_fsync_micros: obs.histogram("tsdb_wal_fsync_micros"),
+            mem_samples: obs.gauge("tsdb_memtable_samples"),
+            segments: obs.gauge("tsdb_segments"),
+            chunks: obs.gauge("tsdb_indexed_chunks"),
+            flush_micros: obs.histogram("tsdb_flush_micros"),
+            flush_bytes_total: obs.counter("tsdb_flush_bytes_total"),
+            compact_micros: obs.histogram("tsdb_compact_micros"),
+            compact_bytes_total: obs.counter("tsdb_compact_bytes_total"),
+            query_index_segments_total: obs.counter("tsdb_query_index_segments_total"),
+            query_v1_fallback_total: obs.counter("tsdb_query_v1_fallback_total"),
+            v1_segments_open_total: obs.counter("tsdb_deprecated_v1_segment_open_total"),
+        }
+    }
+}
+
+fn as_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
 }
 
 fn seg_seq(path: &Path) -> Option<u64> {
@@ -311,6 +356,13 @@ impl Tsdb {
     }
 
     pub fn open_with(dir: &Path, opts: DbOptions) -> Result<Tsdb, TsdbError> {
+        Tsdb::open_with_obs(dir, opts, supremm_obs::global())
+    }
+
+    /// Open reporting into an explicit registry instead of the
+    /// process-wide [`supremm_obs::global`] one (test isolation, or one
+    /// registry per serve instance).
+    pub fn open_with_obs(dir: &Path, opts: DbOptions, obs: ObsHandle) -> Result<Tsdb, TsdbError> {
         fs::create_dir_all(dir)?;
         let mut segments = Vec::new();
         for entry in fs::read_dir(dir)? {
@@ -343,7 +395,20 @@ impl Tsdb {
             }
         }
 
-        Ok(Tsdb {
+        let met = TsdbMetrics::new(obs);
+        for (_, reader) in &segments {
+            if reader.version() < 2 {
+                met.v1_segments_open_total.inc();
+                met.obs.event(
+                    "deprecation",
+                    format!(
+                        "v1 segment read shim used for {} — reseal via compact before the shim is removed",
+                        reader.path().display()
+                    ),
+                );
+            }
+        }
+        let db = Tsdb {
             dir: dir.to_path_buf(),
             wal: recovery.wal,
             mem,
@@ -354,7 +419,25 @@ impl Tsdb {
             generation: 0,
             recovered_samples,
             recovered_truncated_bytes: recovery.truncated_bytes,
-        })
+            met,
+        };
+        db.update_storage_gauges();
+        Ok(db)
+    }
+
+    /// Refresh the segment / chunk / memtable gauges after a structural
+    /// change (open, flush, compact).
+    fn update_storage_gauges(&self) {
+        self.met.segments.set(as_i64(self.segments.len() as u64));
+        let chunks: usize = self
+            .segments
+            .iter()
+            .map(|(_, r)| {
+                r.series_index().map(|idx| idx.iter().map(|e| e.chunks.len()).sum()).unwrap_or(0)
+            })
+            .sum();
+        self.met.chunks.set(as_i64(chunks as u64));
+        self.met.mem_samples.set(as_i64(self.mem_samples));
     }
 
     pub fn dir(&self) -> &Path {
@@ -386,17 +469,20 @@ impl Tsdb {
         }
         let bits: Vec<(u64, u64)> =
             samples.iter().map(|&(ts, v)| (ts, v.to_bits())).collect();
+        let t = Timer::start();
         self.wal.append(&WalRecord {
             host: host.to_string(),
             metric: metric.to_string(),
             samples: bits.clone(),
         })?;
+        self.met.wal_append_micros.observe_timer(t);
         let series = self.mem.entry(SeriesKey::new(host, metric)).or_default();
         for (ts, b) in bits {
             if series.insert(ts, b).is_none() {
                 self.mem_samples += 1;
             }
         }
+        self.met.mem_samples.set(as_i64(self.mem_samples));
         self.generation += 1;
         Ok(())
     }
@@ -404,7 +490,10 @@ impl Tsdb {
     /// Durability ack: when this returns, every appended sample survives
     /// any crash.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.wal.sync()
+        let t = Timer::start();
+        self.wal.sync()?;
+        self.met.wal_fsync_micros.observe_timer(t);
+        Ok(())
     }
 
     /// Seal the memtable into a new immutable segment and reset the WAL.
@@ -418,8 +507,10 @@ impl Tsdb {
             }
             return Ok(());
         }
+        let t = Timer::start();
         let seq = self.next_seq;
         let reader = write_segment(&self.dir, seq, &self.mem, &self.opts)?;
+        self.met.flush_bytes_total.add(reader.file_len());
         self.segments.push((seq, reader));
         self.next_seq = seq + 1;
         // Segment is durable; only now is it safe to drop the WAL.
@@ -427,6 +518,8 @@ impl Tsdb {
         self.mem.clear();
         self.mem_samples = 0;
         self.generation += 1;
+        self.met.flush_micros.observe_timer(t);
+        self.update_storage_gauges();
         Ok(())
     }
 
@@ -438,6 +531,7 @@ impl Tsdb {
         if self.segments.len() <= 1 {
             return Ok(());
         }
+        let t = Timer::start();
         let mut merged: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
         for (_, reader) in &self.segments {
             for entry in &reader.entries {
@@ -453,6 +547,7 @@ impl Tsdb {
         }
         let seq = self.next_seq;
         let reader = write_segment(&self.dir, seq, &merged, &self.opts)?;
+        self.met.compact_bytes_total.add(reader.file_len());
         let old: Vec<PathBuf> =
             self.segments.iter().map(|(_, r)| r.path().to_path_buf()).collect();
         self.segments = vec![(seq, reader)];
@@ -461,6 +556,8 @@ impl Tsdb {
             fs::remove_file(&p)?;
         }
         self.generation += 1;
+        self.met.compact_micros.observe_timer(t);
+        self.update_storage_gauges();
         Ok(())
     }
 
@@ -581,8 +678,14 @@ impl Tsdb {
         let mut acc: BTreeMap<SeriesKey, Vec<Vec<(u64, u64)>>> = BTreeMap::new();
         for (_, reader) in &self.segments {
             match reader.series_index() {
-                Some(idx) => self.segment_runs_indexed(reader, idx, sel, t0, t1, &mut acc)?,
-                None => self.segment_runs_v1(reader, sel, t0, t1, &mut acc)?,
+                Some(idx) => {
+                    self.met.query_index_segments_total.inc();
+                    self.segment_runs_indexed(reader, idx, sel, t0, t1, &mut acc)?
+                }
+                None => {
+                    self.met.query_v1_fallback_total.inc();
+                    self.segment_runs_v1(reader, sel, t0, t1, &mut acc)?
+                }
             }
         }
         for (key, series) in &self.mem {
@@ -885,6 +988,11 @@ impl Tsdb {
     /// Total bytes of sealed segments on disk.
     pub fn disk_bytes(&self) -> u64 {
         self.segments.iter().map(|(_, r)| r.file_len()).sum()
+    }
+
+    /// The registry this store reports into.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.met.obs
     }
 
     pub fn stats(&self) -> DbStats {
@@ -1196,6 +1304,60 @@ mod tests {
         assert!(g1 > g0);
         db.flush().unwrap();
         assert!(db.generation() > g1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_counters_track_write_and_query_paths() {
+        use std::sync::Arc;
+        let dir = tmpdir("obs");
+        let _ = fs::remove_dir_all(&dir);
+        let obs = Arc::new(supremm_obs::ObsRegistry::new());
+        let mut db = Tsdb::open_with_obs(&dir, DbOptions::default(), obs.clone()).unwrap();
+        fill(&mut db);
+        db.sync().unwrap();
+        db.flush().unwrap();
+        fill(&mut db);
+        db.flush().unwrap();
+        db.compact().unwrap();
+        let _ = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        let snap = obs.snapshot();
+        assert!(snap.histogram("tsdb_wal_append_micros").is_some_and(|h| h.count > 0));
+        // `fill` syncs once per call, plus the explicit sync above.
+        assert!(snap.histogram("tsdb_wal_fsync_micros").is_some_and(|h| h.count == 3));
+        assert!(snap.histogram("tsdb_flush_micros").is_some_and(|h| h.count == 2));
+        assert!(snap.histogram("tsdb_compact_micros").is_some_and(|h| h.count == 1));
+        assert!(snap.counter("tsdb_flush_bytes_total").unwrap() > 0);
+        assert!(snap.counter("tsdb_compact_bytes_total").unwrap() > 0);
+        assert_eq!(snap.counter("tsdb_query_index_segments_total"), Some(1));
+        assert_eq!(snap.counter("tsdb_query_v1_fallback_total"), Some(0));
+        assert_eq!(snap.gauge("tsdb_segments"), Some(1));
+        assert_eq!(snap.gauge("tsdb_memtable_samples"), Some(0));
+        assert!(snap.gauge("tsdb_indexed_chunks").unwrap() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_segment_open_emits_deprecation_event() {
+        use std::sync::Arc;
+        let dir = tmpdir("obs-v1");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = SegmentWriter::new(KIND_SERIES);
+        w.push_series_block(&[("h", "m", &[(0u64, 1.0f64.to_bits()), (10, 2.0f64.to_bits())][..])]);
+        w.seal_with_version(&dir.join("seg-000001.tsdb"), 1).unwrap();
+        let obs = Arc::new(supremm_obs::ObsRegistry::new());
+        let db = Tsdb::open_with_obs(&dir, DbOptions::default(), obs.clone()).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("tsdb_deprecated_v1_segment_open_total"), Some(1));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == "deprecation" && e.detail.contains("v1 segment")));
+        // The shim still serves reads — and tallies the fallback.
+        let got = db.query(&Selector::all(), 0, u64::MAX).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(obs.snapshot().counter("tsdb_query_v1_fallback_total"), Some(1));
         let _ = fs::remove_dir_all(&dir);
     }
 

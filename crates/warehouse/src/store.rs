@@ -257,7 +257,19 @@ impl JobTable {
     /// one release, a legacy JSON-lines export. Returns the table and
     /// the number of records skipped as corrupt (legacy path only;
     /// segment corruption is an error, not a skip).
+    ///
+    /// Deprecation events are reported into the process-global obs
+    /// registry; use [`JobTable::load_counting_with_obs`] to direct
+    /// them elsewhere (e.g. for test isolation).
     pub fn load_counting(path: &std::path::Path) -> std::io::Result<(JobTable, usize)> {
+        Self::load_counting_with_obs(path, &supremm_obs::global())
+    }
+
+    /// [`JobTable::load_counting`] with an explicit obs registry.
+    pub fn load_counting_with_obs(
+        path: &std::path::Path,
+        obs: &supremm_obs::ObsRegistry,
+    ) -> std::io::Result<(JobTable, usize)> {
         if supremm_tsdb::recordlog::is_segment_file(path) {
             let records = supremm_tsdb::recordlog::read_records(path).map_err(|e| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
@@ -272,6 +284,14 @@ impl JobTable {
             return Ok((JobTable::new(jobs), 0));
         }
         // Legacy JSON-lines: tolerate corrupt lines, count them.
+        obs.counter("warehouse_deprecated_jobs_jsonl_load_total").inc();
+        obs.event(
+            "deprecation",
+            format!(
+                "legacy jobs.jsonl read shim used for {} — re-save via JobTable::save before the shim is removed",
+                path.display()
+            ),
+        );
         let text = std::fs::read_to_string(path)?;
         let mut jobs = Vec::new();
         let mut bad = 0usize;
@@ -377,6 +397,33 @@ mod persistence_tests {
         assert_eq!(bad, 0);
         assert_eq!(back.jobs(), t.jobs());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_load_emits_deprecation_event() {
+        let path =
+            std::env::temp_dir().join(format!("supremm-depr-{}.jsonl", std::process::id()));
+        let t = sample_table();
+        let text: String = t.jobs().iter().map(|j| legacy_line(j) + "\n").collect();
+        std::fs::write(&path, &text).unwrap();
+        let obs = supremm_obs::ObsRegistry::new();
+        let (back, bad) = JobTable::load_counting_with_obs(&path, &obs).unwrap();
+        assert_eq!(bad, 0);
+        assert_eq!(back.jobs(), t.jobs());
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("warehouse_deprecated_jobs_jsonl_load_total"), Some(1));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == "deprecation" && e.detail.contains("jobs.jsonl read shim")));
+        // The segment-format fast path stays silent.
+        let seg = std::env::temp_dir().join(format!("supremm-depr-{}.tsdb", std::process::id()));
+        t.save(&seg).unwrap();
+        let quiet = supremm_obs::ObsRegistry::new();
+        JobTable::load_counting_with_obs(&seg, &quiet).unwrap();
+        assert_eq!(quiet.snapshot().counter("warehouse_deprecated_jobs_jsonl_load_total"), None);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&seg).unwrap();
     }
 
     #[test]

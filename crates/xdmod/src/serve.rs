@@ -9,6 +9,7 @@
 //! GET /v1/summary
 //! GET /v1/query?dimension=<d>&statistic=<s>[&metric=<m>][&top=<n>]
 //! GET /v1/series?[host=<h>][&metric=<m>][&t0=<s>][&t1=<s>][&bin=<s>][&agg=<a>]
+//! GET /v1/metrics[?format=prometheus|json]
 //! ```
 //!
 //! `/v1/series` answers straight from the `tsdb` storage engine when one
@@ -28,6 +29,16 @@
 //! The request handling is a pure function ([`handle_with_store`]) so the
 //! protocol logic is unit-testable without sockets; [`serve`] /
 //! [`serve_shared`] are the accept-loop wrappers.
+//!
+//! The serve loop reports into the `obs` self-observability registry
+//! (`GET /v1/metrics` in Prometheus text or the in-house JSON):
+//! per-endpoint request counters and latency histograms, an open
+//! keep-alive connection gauge, cache hit/miss/eviction tallies,
+//! response bytes and 4xx/5xx counts. Requests slower than
+//! [`ServeOptions::slow_query_micros`] land in the registry's
+//! ring-buffer event log (`kind == "slow_query"`), surfaced by
+//! `supremm diagnose`. `/v1/metrics` itself is never cached — a stale
+//! metrics snapshot would defeat the point.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -37,6 +48,7 @@ use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 use supremm_metrics::json::{obj, Value};
+use supremm_obs::{Counter, Gauge, Histogram, ObsHandle, ObsRegistry, Timer};
 use supremm_metrics::KeyMetric;
 use supremm_warehouse::tsdb::{Agg, Selector, Tsdb};
 use supremm_warehouse::JobTable;
@@ -165,9 +177,67 @@ pub fn handle(table: &JobTable, request_line: &str) -> Response {
 }
 
 /// [`handle`], with an optional `tsdb` store behind `/v1/series`.
+/// `/v1/metrics` answers from the process-wide [`supremm_obs::global`]
+/// registry; use [`handle_with_obs`] to point it elsewhere.
 pub fn handle_with_store(
     table: &JobTable,
     store: Option<&Tsdb>,
+    request_line: &str,
+) -> Response {
+    handle_with_obs(table, store, &supremm_obs::global(), request_line)
+}
+
+/// Render the registry snapshot as the in-house JSON value type.
+fn metrics_json(snap: &supremm_obs::Snapshot) -> Value {
+    let counters: Vec<(String, Value)> =
+        snap.counters.iter().map(|(k, v)| (k.clone(), (*v as f64).into())).collect();
+    let gauges: Vec<(String, Value)> =
+        snap.gauges.iter().map(|(k, v)| (k.clone(), (*v as f64).into())).collect();
+    let histograms: Vec<(String, Value)> = snap
+        .histograms
+        .iter()
+        .map(|(k, h)| {
+            let buckets: Vec<Value> = supremm_obs::BUCKET_BOUNDS
+                .iter()
+                .zip(h.buckets.iter())
+                .filter(|&(_, n)| *n > 0)
+                .map(|(le, n)| Value::Array(vec![(*le as f64).into(), (*n as f64).into()]))
+                .collect();
+            let fields = obj([
+                ("count", (h.count as f64).into()),
+                ("sum", (h.sum as f64).into()),
+                ("overflow", (h.overflow as f64).into()),
+                ("buckets", Value::Array(buckets)),
+            ]);
+            (k.clone(), fields)
+        })
+        .collect();
+    let events: Vec<Value> = snap
+        .events
+        .iter()
+        .map(|e| {
+            obj([
+                ("seq", (e.seq as f64).into()),
+                ("kind", e.kind.as_str().into()),
+                ("detail", e.detail.as_str().into()),
+            ])
+        })
+        .collect();
+    obj([
+        ("counters", Value::Object(counters)),
+        ("gauges", Value::Object(gauges)),
+        ("histograms", Value::Object(histograms)),
+        ("events", Value::Array(events)),
+        ("events_dropped", (snap.events_dropped as f64).into()),
+    ])
+}
+
+/// [`handle_with_store`], answering `/v1/metrics` from an explicit
+/// registry instead of the process-wide one.
+pub fn handle_with_obs(
+    table: &JobTable,
+    store: Option<&Tsdb>,
+    obs: &ObsRegistry,
     request_line: &str,
 ) -> Response {
     let mut parts = request_line.split_whitespace();
@@ -280,6 +350,23 @@ pub fn handle_with_store(
                 .collect();
             Response::json(200, obj([("series", Value::Array(body))]).to_string())
         }
+        "/v1/metrics" => {
+            if let Some(msg) = unknown_param(&params, &["format"]) {
+                return Response::error(400, &msg);
+            }
+            let snap = obs.snapshot();
+            match get("format").unwrap_or("prometheus") {
+                "prometheus" => Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    body: supremm_obs::render_prometheus(&snap),
+                },
+                "json" => Response::json(200, metrics_json(&snap).to_string()),
+                other => {
+                    Response::error(400, &format!("unknown format {other:?} (prometheus|json)"))
+                }
+            }
+        }
         _ => Response::error(404, "unknown path"),
     }
 }
@@ -293,11 +380,130 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Max cached responses; 0 disables the cache.
     pub cache_entries: usize,
+    /// Requests slower than this land in the obs event log as
+    /// `slow_query` entries (`supremm serve --slow-query-ms`).
+    pub slow_query_micros: u64,
+    /// Registry the serve loop reports into.
+    pub obs: ObsHandle,
 }
 
 impl Default for ServeOptions {
     fn default() -> ServeOptions {
-        ServeOptions { threads: 4, cache_entries: 256 }
+        ServeOptions {
+            threads: 4,
+            cache_entries: 256,
+            slow_query_micros: 100_000,
+            obs: supremm_obs::global(),
+        }
+    }
+}
+
+/// The serve layer's canonical endpoint labels (everything else is
+/// `other`). Fixed set, so per-endpoint handles are pre-registered and
+/// the per-request path is lock-free.
+const ENDPOINTS: [&str; 6] =
+    ["healthz", "v1_summary", "v1_query", "v1_series", "v1_metrics", "other"];
+
+fn endpoint_index(request_line: &str) -> usize {
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .map(|t| t.split_once('?').map_or(t, |(p, _)| p))
+        .unwrap_or("");
+    match path {
+        "/healthz" => 0,
+        "/v1/summary" => 1,
+        "/v1/query" => 2,
+        "/v1/series" => 3,
+        "/v1/metrics" => 4,
+        _ => 5,
+    }
+}
+
+struct EndpointMetrics {
+    requests: Counter,
+    latency: Histogram,
+}
+
+/// Obs handles cached once per serve loop; every per-request update is
+/// a relaxed atomic op.
+struct ServeMetrics {
+    obs: ObsHandle,
+    slow_query_micros: u64,
+    endpoints: Vec<EndpointMetrics>,
+    active_connections: Gauge,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    response_bytes: Counter,
+    http_4xx: Counter,
+    http_5xx: Counter,
+    slow_queries: Counter,
+}
+
+impl ServeMetrics {
+    fn new(opts: &ServeOptions) -> ServeMetrics {
+        let obs = opts.obs.clone();
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|ep| EndpointMetrics {
+                requests: obs.counter(&format!("serve_requests_total{{endpoint=\"{ep}\"}}")),
+                latency: obs.histogram(&format!("serve_request_micros{{endpoint=\"{ep}\"}}")),
+            })
+            .collect();
+        ServeMetrics {
+            slow_query_micros: opts.slow_query_micros,
+            endpoints,
+            active_connections: obs.gauge("serve_active_connections"),
+            cache_hits: obs.counter("serve_cache_hits_total"),
+            cache_misses: obs.counter("serve_cache_misses_total"),
+            cache_evictions: obs.counter("serve_cache_evictions_total"),
+            response_bytes: obs.counter("serve_response_bytes_total"),
+            http_4xx: obs.counter("serve_http_4xx_total"),
+            http_5xx: obs.counter("serve_http_5xx_total"),
+            slow_queries: obs.counter("serve_slow_queries_total"),
+            obs,
+        }
+    }
+
+    /// Record one finished request (cached or computed).
+    fn record(&self, request_line: &str, micros: u64, resp: &Response) {
+        let ep = self.endpoints.get(endpoint_index(request_line));
+        if let Some(ep) = ep {
+            ep.requests.inc();
+            ep.latency.observe(micros);
+        }
+        self.response_bytes.add(resp.body.len() as u64);
+        if resp.status >= 500 {
+            self.http_5xx.inc();
+        } else if resp.status >= 400 {
+            self.http_4xx.inc();
+        }
+        if micros >= self.slow_query_micros {
+            self.slow_queries.inc();
+            let target = request_line.split_whitespace().nth(1).unwrap_or(request_line);
+            self.obs.event(
+                "slow_query",
+                format!("{target} took {micros}us (status {})", resp.status),
+            );
+        }
+    }
+}
+
+/// RAII decrement for the open-connection gauge (connections exit
+/// through several early returns).
+struct ConnGuard<'a>(&'a Gauge);
+
+impl<'a> ConnGuard<'a> {
+    fn enter(gauge: &'a Gauge) -> ConnGuard<'a> {
+        gauge.add(1);
+        ConnGuard(gauge)
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
     }
 }
 
@@ -362,14 +568,17 @@ impl ResponseCache {
         None
     }
 
-    pub fn put(&self, key: String, generation: u64, response: Response) {
+    /// Insert, evicting least-recently-used entries over capacity.
+    /// Returns how many entries were evicted.
+    pub fn put(&self, key: String, generation: u64, response: Response) -> usize {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.map.insert(key, CacheEntry { generation, last_used: tick, response });
+        let mut evicted = 0;
         while inner.map.len() > self.capacity {
             let victim = inner
                 .map
@@ -379,10 +588,12 @@ impl ResponseCache {
             match victim {
                 Some(k) => {
                     inner.map.remove(&k);
+                    evicted += 1;
                 }
                 None => break,
             }
         }
+        evicted
     }
 
     pub fn len(&self) -> usize {
@@ -404,7 +615,9 @@ impl ResponseCache {
 
 /// Canonical cache key for a request line, or `None` if the request is
 /// not cacheable (non-GET, non-`/v1/` path, or malformed — those must
-/// re-run so errors stay fresh).
+/// re-run so errors stay fresh). `/v1/metrics` is deliberately
+/// uncacheable: its body is a live registry snapshot and the store
+/// generation the cache keys on does not advance when metrics do.
 fn cache_key(request_line: &str) -> Option<String> {
     let mut parts = request_line.split_whitespace();
     let (method, target) = (parts.next()?, parts.next()?);
@@ -412,7 +625,7 @@ fn cache_key(request_line: &str) -> Option<String> {
         return None;
     }
     let (path, mut params) = split_target(target).ok()?;
-    if !path.starts_with("/v1/") {
+    if !path.starts_with("/v1/") || path == "/v1/metrics" {
         return None;
     }
     params.sort_unstable();
@@ -444,14 +657,15 @@ fn respond(
     table: &JobTable,
     view: StoreView<'_>,
     cache: Option<&ResponseCache>,
+    met: &ServeMetrics,
     request_line: &str,
 ) -> Response {
     match view {
-        StoreView::None => respond_with(table, None, cache, request_line),
-        StoreView::Direct(db) => respond_with(table, Some(db), cache, request_line),
+        StoreView::None => respond_with(table, None, cache, met, request_line),
+        StoreView::Direct(db) => respond_with(table, Some(db), cache, met, request_line),
         StoreView::Shared(lock) => {
             let db = lock.read().unwrap_or_else(|e| e.into_inner());
-            respond_with(table, Some(&db), cache, request_line)
+            respond_with(table, Some(&db), cache, met, request_line)
         }
     }
 }
@@ -460,21 +674,37 @@ fn respond_with(
     table: &JobTable,
     store: Option<&Tsdb>,
     cache: Option<&ResponseCache>,
+    met: &ServeMetrics,
+    request_line: &str,
+) -> Response {
+    let t = Timer::start();
+    let resp = respond_inner(table, store, cache, met, request_line);
+    met.record(request_line, t.elapsed_micros(), &resp);
+    resp
+}
+
+fn respond_inner(
+    table: &JobTable,
+    store: Option<&Tsdb>,
+    cache: Option<&ResponseCache>,
+    met: &ServeMetrics,
     request_line: &str,
 ) -> Response {
     let Some(cache) = cache else {
-        return handle_with_store(table, store, request_line);
+        return handle_with_obs(table, store, &met.obs, request_line);
     };
     let Some(key) = cache_key(request_line) else {
-        return handle_with_store(table, store, request_line);
+        return handle_with_obs(table, store, &met.obs, request_line);
     };
     let generation = store.map(|db| db.generation()).unwrap_or(0);
     if let Some(hit) = cache.get(&key, generation) {
+        met.cache_hits.inc();
         return hit;
     }
-    let resp = handle_with_store(table, store, request_line);
+    met.cache_misses.inc();
+    let resp = handle_with_obs(table, store, &met.obs, request_line);
     if resp.status == 200 {
-        cache.put(key, generation, resp.clone());
+        met.cache_evictions.add(cache.put(key, generation, resp.clone()) as u64);
     }
     resp
 }
@@ -501,7 +731,9 @@ fn serve_connection(
     table: &JobTable,
     view: StoreView<'_>,
     cache: Option<&ResponseCache>,
+    met: &ServeMetrics,
 ) {
+    let _conn = ConnGuard::enter(&met.active_connections);
     if stream.set_nonblocking(false).is_err()
         || stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
     {
@@ -534,7 +766,7 @@ fn serve_connection(
             // bare request line and wait; answer it once and close.
             if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
                 let line = String::from_utf8_lossy(&buf[..nl]);
-                let resp = respond(table, view, cache, line.trim_end());
+                let resp = respond(table, view, cache, met, line.trim_end());
                 let _ = stream.write_all(resp.to_http_with(false).as_bytes());
             }
             return;
@@ -557,7 +789,7 @@ fn serve_connection(
                 }
             }
         }
-        let resp = respond(table, view, cache, request_line);
+        let resp = respond(table, view, cache, met, request_line);
         served += 1;
         let keep = keep && served < MAX_REQUESTS_PER_CONN;
         if stream.write_all(resp.to_http_with(keep).as_bytes()).is_err() || !keep {
@@ -583,14 +815,16 @@ fn serve_pooled(
     }
     listeners.push(listener);
     let cache = ResponseCache::new(opts.cache_entries);
+    let met = ServeMetrics::new(opts);
     std::thread::scope(|scope| {
         for l in listeners {
             let cache = &cache;
+            let met = &met;
             scope.spawn(move || {
                 while !shutdown.load(Ordering::Relaxed) {
                     match l.accept() {
                         Ok((stream, _)) => {
-                            serve_connection(stream, table, view, Some(cache));
+                            serve_connection(stream, table, view, Some(cache), met);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(2));
@@ -837,6 +1071,16 @@ mod tests {
         assert!(off.is_empty());
     }
 
+    /// Fresh isolated metrics (and options) for pure-function tests.
+    fn test_metrics() -> (ServeOptions, ServeMetrics) {
+        let opts = ServeOptions {
+            obs: std::sync::Arc::new(ObsRegistry::new()),
+            ..ServeOptions::default()
+        };
+        let met = ServeMetrics::new(&opts);
+        (opts, met)
+    }
+
     #[test]
     fn cached_series_responses_invalidate_on_store_writes() {
         let dir = std::env::temp_dir().join(format!("serve-cache-{}", std::process::id()));
@@ -846,24 +1090,111 @@ mod tests {
         db.append_batch("h", "m", &[(0, 1.0)]).unwrap();
         let t = table();
         let cache = ResponseCache::new(16);
+        let (_opts, met) = test_metrics();
         let line = "GET /v1/series?host=h&metric=m HTTP/1.1";
-        let first = respond_with(&t, Some(&db), Some(&cache), line);
+        let first = respond_with(&t, Some(&db), Some(&cache), &met, line);
         assert_eq!(first.status, 200);
         // Same generation: served from cache, bit-identical.
-        let again = respond_with(&t, Some(&db), Some(&cache), line);
+        let again = respond_with(&t, Some(&db), Some(&cache), &met, line);
         assert_eq!(first, again);
         assert_eq!(cache.hits(), 1);
         // Equivalent query, different parameter order: same cache slot.
-        let reordered =
-            respond_with(&t, Some(&db), Some(&cache), "GET /v1/series?metric=m&host=h HTTP/1.1");
+        let reordered = respond_with(
+            &t,
+            Some(&db),
+            Some(&cache),
+            &met,
+            "GET /v1/series?metric=m&host=h HTTP/1.1",
+        );
         assert_eq!(reordered, first);
         assert_eq!(cache.hits(), 2);
         // A write bumps the generation; the next read recomputes.
         db.append_batch("h", "m", &[(600, 2.0)]).unwrap();
-        let after = respond_with(&t, Some(&db), Some(&cache), line);
+        let after = respond_with(&t, Some(&db), Some(&cache), &met, line);
         assert_ne!(after, first, "stale response must not be served");
         assert!(after.body.contains("600"));
+        // The obs mirror saw the same traffic.
+        let snap = met.obs.snapshot();
+        assert_eq!(snap.counter("serve_cache_hits_total"), Some(2));
+        assert_eq!(snap.counter("serve_cache_misses_total"), Some(2));
+        assert_eq!(
+            snap.counter("serve_requests_total{endpoint=\"v1_series\"}"),
+            Some(4)
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_prometheus_and_json() {
+        let t = table();
+        let obs = ObsRegistry::new();
+        obs.counter("pipeline_files_consumed_total").add(5);
+        obs.histogram("tsdb_wal_append_micros").observe(7);
+        obs.event("deprecation", "v1 segment read shim used for seg-000001.tsdb");
+        let r = handle_with_obs(&t, None, &obs, "GET /v1/metrics HTTP/1.1");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.content_type, "text/plain; version=0.0.4");
+        assert!(r.body.contains("pipeline_files_consumed_total 5\n"), "{}", r.body);
+        assert!(r.body.contains("tsdb_wal_append_micros_count 1\n"), "{}", r.body);
+
+        let r = handle_with_obs(&t, None, &obs, "GET /v1/metrics?format=json HTTP/1.1");
+        assert_eq!(r.status, 200, "{}", r.body);
+        let v = Value::parse(&r.body).unwrap();
+        assert_eq!(v["counters"]["pipeline_files_consumed_total"], 5.0);
+        assert_eq!(v["histograms"]["tsdb_wal_append_micros"]["count"], 1.0);
+        assert_eq!(v["events"][0]["kind"], "deprecation");
+
+        // Unknown formats and parameters are clean 400s.
+        let bad = handle_with_obs(&t, None, &obs, "GET /v1/metrics?format=xml HTTP/1.1");
+        assert_eq!(bad.status, 400);
+        let bad = handle_with_obs(&t, None, &obs, "GET /v1/metrics?fmt=json HTTP/1.1");
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint_is_never_cached() {
+        assert_eq!(cache_key("GET /v1/metrics HTTP/1.1"), None);
+        assert_eq!(cache_key("GET /v1/metrics?format=json HTTP/1.1"), None);
+        assert!(cache_key("GET /v1/series?host=h HTTP/1.1").is_some());
+    }
+
+    #[test]
+    fn slow_requests_land_in_the_event_log() {
+        let t = table();
+        let (opts, _) = test_metrics();
+        // Threshold 0: every request is "slow".
+        let opts = ServeOptions { slow_query_micros: 0, ..opts };
+        let met = ServeMetrics::new(&opts);
+        let r = respond_with(&t, None, None, &met, "GET /v1/summary HTTP/1.1");
+        assert_eq!(r.status, 200);
+        let snap = met.obs.snapshot();
+        assert_eq!(snap.counter("serve_slow_queries_total"), Some(1));
+        let ev = snap.events.iter().find(|e| e.kind == "slow_query").expect("slow_query event");
+        assert!(ev.detail.contains("/v1/summary"), "{}", ev.detail);
+        assert!(ev.detail.contains("status 200"), "{}", ev.detail);
+    }
+
+    #[test]
+    fn request_metrics_tally_status_classes_and_bytes() {
+        let t = table();
+        let (_opts, met) = test_metrics();
+        let ok = respond_with(&t, None, None, &met, "GET /healthz HTTP/1.1");
+        let notfound = respond_with(&t, None, None, &met, "GET /nope HTTP/1.1");
+        let bad = respond_with(&t, None, None, &met, "POST /healthz HTTP/1.1");
+        let snap = met.obs.snapshot();
+        // Endpoint labels follow the path (the rejected POST still
+        // counts against /healthz — it consumed that handler's time).
+        assert_eq!(snap.counter("serve_requests_total{endpoint=\"healthz\"}"), Some(2));
+        assert_eq!(snap.counter("serve_requests_total{endpoint=\"other\"}"), Some(1));
+        assert_eq!(snap.counter("serve_http_4xx_total"), Some(2));
+        assert_eq!(snap.counter("serve_http_5xx_total"), Some(0));
+        assert_eq!(
+            snap.counter("serve_response_bytes_total"),
+            Some((ok.body.len() + notfound.body.len() + bad.body.len()) as u64)
+        );
+        assert!(snap
+            .histogram("serve_request_micros{endpoint=\"healthz\"}")
+            .is_some_and(|h| h.count == 2));
     }
 
     /// Read exactly one HTTP response (headers + Content-Length body).
@@ -1019,7 +1350,7 @@ mod tests {
                 Some(&server_store),
                 listener,
                 &flag,
-                &ServeOptions { threads: 2, cache_entries: 32 },
+                &ServeOptions { threads: 2, cache_entries: 32, ..ServeOptions::default() },
             );
         });
 

@@ -1,0 +1,116 @@
+//! Cross-crate fixture tests for the two one-release read shims: the
+//! v1 (index-less) tsdb segment format and the legacy `jobs.jsonl`
+//! JSON-lines job export. Both must still load byte-identical data AND
+//! announce themselves through the obs event log, so `supremm diagnose`
+//! can tell an operator to re-save before the shims are removed.
+
+use std::sync::Arc;
+
+use supremm_metrics::json::{obj, Value};
+use supremm_obs::ObsRegistry;
+use supremm_tsdb::segment::{SegmentWriter, KIND_SERIES};
+use supremm_warehouse::record::ExitKind;
+use supremm_warehouse::tsdb::{DbOptions, Selector, Tsdb};
+use supremm_warehouse::{JobRecord, JobTable};
+use supremm_xdmod::diagnose::obs_report;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("supremm-shim-{name}-{}", std::process::id()))
+}
+
+#[test]
+fn v1_segment_fixture_loads_and_reports_deprecation() {
+    let dir = tmp("v1seg");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    // Hand-build a v1 segment fixture: two series, no per-series index.
+    let mut w = SegmentWriter::new(KIND_SERIES);
+    let cpu = [(0u64, 0.25f64.to_bits()), (600, 0.75f64.to_bits())];
+    let mem = [(0u64, 1.0f64.to_bits())];
+    w.push_series_block(&[("c301-101", "cpu_user", &cpu[..]), ("c301-101", "mem_used", &mem[..])]);
+    w.seal_with_version(&dir.join("seg-000001.tsdb"), 1).expect("seal v1");
+
+    let obs = Arc::new(ObsRegistry::new());
+    let db = Tsdb::open_with_obs(&dir, DbOptions::default(), obs.clone()).expect("open");
+
+    // The data still reads back in full …
+    let got = db.query(&Selector::all(), 0, u64::MAX).expect("query");
+    assert_eq!(got.len(), 2);
+    let cpu_points = &got.iter().find(|(k, _)| k.metric == "cpu_user").expect("cpu series").1;
+    assert_eq!(cpu_points.as_slice(), &[(0, 0.25), (600, 0.75)]);
+
+    // … and the shim announced itself: counter, event, diagnose report.
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("tsdb_deprecated_v1_segment_open_total"), Some(1));
+    assert_eq!(snap.counter("tsdb_query_v1_fallback_total"), Some(1));
+    let report = obs_report(&snap);
+    assert!(report.contains("deprecation warning"), "{report}");
+    assert!(report.contains("v1 segment read shim"), "{report}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The pre-segment JSON-lines job export shape, reproduced as a fixture.
+fn legacy_line(j: &JobRecord) -> String {
+    obj([
+        ("job", j.job.0.into()),
+        ("user", j.user.0.into()),
+        ("app", j.app.as_deref().into()),
+        ("science", format!("{:?}", j.science).into()),
+        ("queue", j.queue.as_str().into()),
+        ("submit", j.submit.0.into()),
+        ("start", j.start.0.into()),
+        ("end", j.end.0.into()),
+        ("nodes", j.nodes.into()),
+        ("exit", format!("{:?}", j.exit).into()),
+        ("metrics", Value::Array(j.metrics.0.iter().map(|&v| v.into()).collect())),
+        ("extended", Value::Array(j.extended.iter().map(|&v| v.into()).collect())),
+        ("flops_valid", j.flops_valid.into()),
+        ("samples", j.samples.into()),
+        ("coverage_gaps", j.coverage_gaps.into()),
+    ])
+    .to_string()
+}
+
+#[test]
+fn jobs_jsonl_fixture_loads_and_reports_deprecation() {
+    use supremm_metrics::{JobId, ScienceField, Timestamp, UserId};
+    let path = tmp("jobs").with_extension("jsonl");
+
+    let jobs: Vec<JobRecord> = (1u64..=3)
+        .map(|i| JobRecord {
+            job: JobId(i),
+            user: UserId(100 + i as u32),
+            app: Some("namd".into()),
+            science: ScienceField::MolecularBiosciences,
+            queue: "normal".into(),
+            submit: Timestamp(0),
+            start: Timestamp(60),
+            end: Timestamp(60 + i * 600),
+            nodes: 4,
+            exit: ExitKind::Completed,
+            metrics: Default::default(),
+            extended: Default::default(),
+            flops_valid: true,
+            samples: 12,
+            coverage_gaps: 0,
+        })
+        .collect();
+    let text: String = jobs.iter().map(|j| legacy_line(j) + "\n").collect();
+    std::fs::write(&path, &text).expect("write fixture");
+
+    let obs = ObsRegistry::new();
+    let (table, bad) = JobTable::load_counting_with_obs(&path, &obs).expect("load");
+    assert_eq!(bad, 0);
+    assert_eq!(table.len(), 3);
+    assert_eq!(table.jobs()[0].job, JobId(1));
+    assert_eq!(table.jobs()[2].end, Timestamp(60 + 3 * 600));
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("warehouse_deprecated_jobs_jsonl_load_total"), Some(1));
+    let report = obs_report(&snap);
+    assert!(report.contains("jobs.jsonl read shim"), "{report}");
+
+    let _ = std::fs::remove_file(&path);
+}

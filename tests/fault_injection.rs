@@ -443,8 +443,17 @@ proptest! {
         prop_assert!(ds.ingest_stats.conservation_holds(), "{:?}", ds.ingest_stats);
         let cov = ds.series.coverage(4);
         prop_assert!((0.0..=1.0).contains(&cov));
+        // With a 25% fault plan a job can legitimately end up with zero
+        // samples: every archive file covering its nodes may have been
+        // dropped or truncated away. Only insist on samples when the
+        // plan left the data intact.
+        let data_lost = ds.faults_injected.total_events() > 0;
         for job in ds.table.jobs() {
-            prop_assert!(job.samples > 0);
+            prop_assert!(
+                job.samples > 0 || data_lost,
+                "job {:?} has no samples yet no faults were injected",
+                job.job
+            );
         }
     }
 }
