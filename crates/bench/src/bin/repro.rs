@@ -16,7 +16,10 @@
 //! throughput), and `BENCH_query.json` with the query-path numbers
 //! (series-indexed reads vs. the naive full decode, pre-aggregated
 //! downsampling, and `/v1/series` served cold vs. from the response
-//! cache) so runs can be compared across revisions, and
+//! cache) so runs can be compared across revisions,
+//! `BENCH_ingest.json` with the live remote-write numbers (relay
+//! batches/s, wire MB/s, and the `/v1/write` apply-latency mean and
+//! p99 taken from the `relay_server_write_micros` histogram), and
 //! `BENCH_metrics.json` with the run's live `/v1/metrics` telemetry
 //! snapshot (the self-observability counters and latency histograms the
 //! pipeline, storage engine and query path recorded while producing the
@@ -516,6 +519,151 @@ fn write_metrics_snapshot() -> std::io::Result<()> {
     std::fs::write("BENCH_metrics.json", resp.body)
 }
 
+/// Live-ingest throughput: pre-encoded relay wire frames submitted by
+/// four concurrent "agents" straight into an `IngestCore` over a fresh
+/// store, timed end to end including the final drain (so every acked
+/// batch is durable when the clock stops). Latency percentiles come
+/// from the same `relay_server_write_micros` histogram `/v1/metrics`
+/// exports, read from a registry private to this bench.
+fn write_ingest_bench(root: &std::path::Path) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    use supremm_relay::wire::{encode_batch, Batch, BatchRecord};
+    use supremm_relay::{IngestCore, IngestOptions};
+
+    const AGENTS: usize = 4;
+    const BATCHES_PER_AGENT: u64 = 192;
+    const RECORDS_PER_BATCH: usize = 8;
+    const SAMPLES_PER_RECORD: usize = 128;
+
+    let io_err = |e: supremm_warehouse::tsdb::TsdbError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    };
+    let dir = root.join("ingest-bench");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+
+    // Pre-encode every frame so the timed section measures the server
+    // path (decode, admission, dedup, apply, fsync), not the encoder.
+    let mut wire_bytes = 0u64;
+    let frames: Vec<Vec<Vec<u8>>> = (0..AGENTS)
+        .map(|a| {
+            (0..BATCHES_PER_AGENT)
+                .map(|seq| {
+                    let records = (0..RECORDS_PER_BATCH)
+                        .map(|r| BatchRecord {
+                            host: format!("bench-node{:03}", a * RECORDS_PER_BATCH + r),
+                            metric: format!("cpu_user_{r}"),
+                            samples: (0..SAMPLES_PER_RECORD as u64)
+                                .map(|i| {
+                                    let ts = seq * SAMPLES_PER_RECORD as u64 + i;
+                                    (ts * 10, (ts as f64).sin().to_bits())
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    encode_batch(&Batch {
+                        agent_id: format!("bench-agent-{a}"),
+                        batch_seq: seq,
+                        records,
+                    })
+                    .expect("bench batch encodes")
+                })
+                .inspect(|f| wire_bytes += f.len() as u64)
+                .collect()
+        })
+        .collect();
+
+    let obs: supremm_obs::ObsHandle = std::sync::Arc::new(supremm_obs::ObsRegistry::new());
+    let store = std::sync::Arc::new(std::sync::RwLock::new(
+        supremm_tsdb::Tsdb::open(&dir).map_err(io_err)?,
+    ));
+    let core = IngestCore::start(
+        store,
+        IngestOptions { obs: obs.clone(), ..IngestOptions::default() },
+    );
+
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for agent_frames in &frames {
+            let core = core.clone();
+            s.spawn(move || {
+                for frame in agent_frames {
+                    // Submit blocks until the batch is applied; with 4
+                    // submitters against a 64-deep queue Busy can't
+                    // happen, so every outcome must be an ack.
+                    match core.submit(frame) {
+                        supremm_relay::WriteOutcome::Acked { .. } => {}
+                        other => panic!("bench submit rejected: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    core.begin_drain();
+    core.drain();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let batches = (AGENTS as u64 * BATCHES_PER_AGENT) as f64;
+    let samples = batches as u64 * (RECORDS_PER_BATCH * SAMPLES_PER_RECORD) as u64;
+    let mb = wire_bytes as f64 / (1024.0 * 1024.0);
+    let snap = obs.snapshot();
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "relay_server_write_micros")
+        .map(|(_, h)| h.clone())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "relay_server_write_micros missing")
+        })?;
+    let percentile = |q: f64| -> u64 {
+        let target = ((hist.count as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, n) in hist.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return supremm_obs::BUCKET_BOUNDS[i];
+            }
+        }
+        supremm_obs::BUCKET_BOUNDS[supremm_obs::BUCKET_BOUNDS.len() - 1]
+    };
+    let (p50, p99) = (percentile(0.50), percentile(0.99));
+    let mean = hist.sum as f64 / (hist.count.max(1)) as f64;
+
+    eprintln!(
+        "[repro] ingest bench: {:.0} batches/s, {:.1} MB/s wire, write latency \
+         mean {mean:.0}us p50<={p50}us p99<={p99}us",
+        batches / elapsed.max(1e-12),
+        mb / elapsed.max(1e-12),
+    );
+
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"workload\": {{\"agents\": {AGENTS}, \"batches\": {batches}, \
+         \"records_per_batch\": {RECORDS_PER_BATCH}, \
+         \"samples_per_record\": {SAMPLES_PER_RECORD}, \"samples\": {samples}, \
+         \"wire_bytes\": {wire_bytes}}},"
+    );
+    let _ = writeln!(
+        s,
+        "  \"throughput\": {{\"elapsed_secs\": {elapsed:.6}, \
+         \"batches_per_sec\": {:.2}, \"mb_per_sec\": {:.3}, \
+         \"samples_per_sec\": {:.0}}},",
+        batches / elapsed.max(1e-12),
+        mb / elapsed.max(1e-12),
+        samples as f64 / elapsed.max(1e-12),
+    );
+    let _ = writeln!(
+        s,
+        "  \"write_latency_micros\": {{\"count\": {}, \"mean\": {mean:.2}, \
+         \"p50_le\": {p50}, \"p99_le\": {p99}}}",
+        hist.count
+    );
+    s.push_str("}\n");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write("BENCH_ingest.json", s)
+}
+
 fn main() {
     let args = parse_args();
     let mut ranger_cfg = ClusterConfig::ranger().scaled(args.nodes, args.days);
@@ -572,6 +720,10 @@ fn main() {
         match write_query_bench(&bench_root) {
             Ok(()) => eprintln!("[repro] wrote BENCH_query.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_query.json: {e}"),
+        }
+        match write_ingest_bench(&bench_root) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_ingest.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_ingest.json: {e}"),
         }
         match write_metrics_snapshot() {
             Ok(()) => eprintln!("[repro] wrote BENCH_metrics.json"),

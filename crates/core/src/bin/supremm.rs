@@ -22,6 +22,22 @@
 //!     /v1/series from the time-series store when present, and
 //!     /v1/metrics with the process's own telemetry); requests slower
 //!     than the threshold land in the slow-query log
+//!
+//! supremm ingestd --data data/ --addr 127.0.0.1:8080
+//!                 [--queue-cap N] [--max-batch-bytes N]
+//!     the query API plus the live remote-write path: POST /v1/write
+//!     accepts relay wire frames from collector agents, admission-
+//!     controlled (429 + Retry-After under pressure, 413 over the body
+//!     cap) and exactly-once via the per-agent dedup window. Send
+//!     "drain\n" on stdin (or close it) for a graceful drain: stop
+//!     accepting, flush every admitted batch into the store, exit.
+//!
+//! supremm agent --data data/ --server 127.0.0.1:8080 [--id NAME]
+//!               [--spool path]
+//!     the per-host collector: reduce raw/ TACC_Stats files to interval
+//!     series, batch, spool crash-safely, and push to an ingestd until
+//!     everything is acked (exponential backoff + full jitter between
+//!     failures)
 //! ```
 //!
 //! The job table reads both the segment format and the legacy
@@ -62,9 +78,11 @@ fn main() {
         Some("report") => report(&args[1..]),
         Some("diagnose") => diagnose_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("ingestd") => ingestd_cmd(&args[1..]),
+        Some("agent") => agent_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!(
-                "usage: supremm <simulate|ingest|report|diagnose> [options]\n\
+                "usage: supremm <simulate|ingest|report|diagnose|serve|ingestd|agent> [options]\n\
                  see `cargo doc` or the module docs of this binary for details"
             );
         }
@@ -280,6 +298,108 @@ fn serve_cmd(args: &[String]) {
     };
     supremm_xdmod::serve::serve_shared(&table, store.as_ref(), listener, &shutdown, &opts)
         .unwrap_or_else(|e| die(&format!("serve: {e}")));
+}
+
+/// The ingest daemon: the query API plus an admission-controlled
+/// `POST /v1/write` into the time-series store. Drains gracefully on
+/// stdin EOF or a "drain" line — no acked batch is ever lost.
+fn ingestd_cmd(args: &[String]) {
+    let dir = data_dir(args);
+    let addr = arg_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let store_dir = dir.join("store").join("series");
+    std::fs::create_dir_all(&store_dir)
+        .unwrap_or_else(|e| die(&format!("mkdir {store_dir:?}: {e}")));
+    let db = supremm_tsdb::Tsdb::open(&store_dir)
+        .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}")));
+    let store = std::sync::Arc::new(std::sync::RwLock::new(db));
+    // The job table is optional for a pure ingest node.
+    let table = if dir.join("jobs.tsdb").exists() || dir.join("jobs.jsonl").exists() {
+        load_jobs(&dir)
+    } else {
+        JobTable::new(Vec::new())
+    };
+    let mut ingest_opts = supremm_relay::IngestOptions::default();
+    if let Some(v) = arg_value(args, "--queue-cap") {
+        ingest_opts.queue_cap =
+            v.parse().unwrap_or_else(|_| die("--queue-cap needs an integer"));
+    }
+    if let Some(v) = arg_value(args, "--max-batch-bytes") {
+        ingest_opts.max_batch_bytes =
+            v.parse().unwrap_or_else(|_| die("--max-batch-bytes needs an integer"));
+    }
+    let max_body_bytes = ingest_opts.max_batch_bytes;
+    let core = supremm_relay::IngestCore::start(store.clone(), ingest_opts);
+    let listener = std::net::TcpListener::bind(&addr)
+        .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    println!("ingestd on http://{addr} (send \"drain\" on stdin or close it to stop)");
+    let shutdown = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = shutdown.clone();
+    std::thread::spawn(move || {
+        // Stop on "drain"/"quit" or stdin EOF (e.g. the supervisor
+        // closing the pipe).
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let cmd = line.trim();
+                    if cmd == "drain" || cmd == "quit" {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        flag.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let opts = supremm_xdmod::serve::ServeOptions {
+        ingest: Some(core.clone()),
+        max_body_bytes,
+        ..supremm_xdmod::serve::ServeOptions::default()
+    };
+    // serve_shared drains the core after the workers stop accepting:
+    // every acked batch is applied + synced before this returns.
+    supremm_xdmod::serve::serve_shared(&table, Some(&*store), listener, &shutdown, &opts)
+        .unwrap_or_else(|e| die(&format!("ingestd: {e}")));
+    println!("ingestd drained: {} batches applied", core.applied());
+}
+
+/// The per-host collector: reduce raw files, batch, spool, push until
+/// the server has acked everything.
+fn agent_cmd(args: &[String]) {
+    let dir = data_dir(args);
+    let server = arg_value(args, "--server").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let id = arg_value(args, "--id").unwrap_or_else(|| {
+        format!("agent-{}", std::process::id())
+    });
+    let spool = arg_value(args, "--spool")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| dir.join(format!("spool-{id}.q")));
+    let archive = RawArchive::read_from_dir(&dir.join("raw"))
+        .unwrap_or_else(|e| die(&format!("reading raw archive: {e}")));
+    let mut agent =
+        supremm_relay::Agent::open(&id, &server, &spool, supremm_relay::AgentOptions::default())
+            .unwrap_or_else(|e| die(&format!("opening agent spool {spool:?}: {e}")));
+    if !agent.recovered_seqs().is_empty() {
+        eprintln!(
+            "{id}: resending {} spooled batches from a previous run",
+            agent.recovered_seqs().len()
+        );
+    }
+    let mut files = 0usize;
+    for (key, text) in archive.iter() {
+        agent
+            .offer_file(&key.host.hostname(), text)
+            .unwrap_or_else(|e| die(&format!("offering raw file: {e}")));
+        files += 1;
+    }
+    agent.drain().unwrap_or_else(|e| die(&format!("drain: {e}")));
+    println!(
+        "{id}: {files} files pushed to {server}, max acked seq {:?}",
+        agent.max_acked()
+    );
 }
 
 fn diagnose_cmd(args: &[String]) {

@@ -1,0 +1,379 @@
+//! Crash-safe on-disk outbound queue for a collector agent.
+//!
+//! Sealed batches land here *before* the first send attempt; the file is
+//! the agent's source of truth for what is still owed to the server.
+//! Format:
+//!
+//! ```text
+//! header  "SUPSPOL1"            8 bytes
+//!         u64 LE base_seq       8 bytes   (next seq if no entries)
+//! entry   one wire frame        repeated  (see relay::wire)
+//! ```
+//!
+//! Entries are plain wire frames — the spool reuses the frame's own
+//! magic + length + CRC for torn-tail detection, so recovery is the same
+//! scan the server runs on the network payload. Like the tsdb WAL,
+//! [`Spool::open`] replays frames until the first bad one, returns the
+//! valid prefix, and truncates the torn tail; anything the agent
+//! considered durable (it called [`Spool::sync`] before counting a batch
+//! as accepted) is before that point by construction.
+//!
+//! `base_seq` keeps the `(agent_id, batch_seq)` idempotency key monotone
+//! across restarts: [`Spool::reset`] — called once every spooled batch
+//! has been acked — rewrites the file through a tmp + fsync + rename so
+//! the recorded next-seq can never be torn.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wire::{decode_batch_at, MAGIC};
+
+pub const SPOOL_MAGIC: &[u8; 8] = b"SUPSPOL1";
+const HEADER_LEN: u64 = 16;
+
+/// What [`Spool::open`] found on disk.
+pub struct SpoolRecovery {
+    pub spool: Spool,
+    /// Surviving batches in append order: `(batch_seq, wire frame)`.
+    pub batches: Vec<(u64, Vec<u8>)>,
+    /// Bytes of torn tail discarded (0 on a clean spool).
+    pub truncated_bytes: u64,
+}
+
+/// Append-side handle. Writes are buffered; [`Spool::sync`] flushes and
+/// fsyncs — only then may the agent count the batch as accepted.
+pub struct Spool {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    len: u64,
+    entries: u64,
+    base_seq: u64,
+}
+
+fn write_header(file: &mut File, base_seq: u64) -> io::Result<()> {
+    file.write_all(SPOOL_MAGIC)?;
+    file.write_all(&base_seq.to_le_bytes())?;
+    file.sync_all()
+}
+
+impl Spool {
+    /// Open (creating if absent), replay valid frames, truncate any torn
+    /// tail, and position for appending.
+    pub fn open(path: &Path) -> io::Result<SpoolRecovery> {
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut batches: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut base_seq = 0u64;
+        let mut good_end: u64;
+        if file_len == 0 {
+            write_header(&mut file, 0)?;
+            good_end = HEADER_LEN;
+        } else {
+            let mut buf = Vec::with_capacity(file_len as usize);
+            file.read_to_end(&mut buf)?;
+            if buf.len() < SPOOL_MAGIC.len() {
+                if SPOOL_MAGIC.starts_with(&buf) {
+                    // Torn first-creation write: nothing was ever accepted
+                    // through this spool, so a fresh header loses nothing.
+                    file.set_len(0)?;
+                    file.seek(SeekFrom::Start(0))?;
+                    write_header(&mut file, 0)?;
+                    buf.clear();
+                } else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: not a SUPSPOL1 relay spool", path.display()),
+                    ));
+                }
+            } else if &buf[..SPOOL_MAGIC.len()] != SPOOL_MAGIC {
+                // Not our file — refuse rather than clobber.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: not a SUPSPOL1 relay spool", path.display()),
+                ));
+            }
+            if buf.len() < HEADER_LEN as usize {
+                // Torn base_seq on first creation (reset goes through a
+                // rename, so a half-written header means seq 0).
+                if !buf.is_empty() {
+                    file.set_len(0)?;
+                    file.seek(SeekFrom::Start(0))?;
+                    write_header(&mut file, 0)?;
+                }
+                good_end = HEADER_LEN;
+            } else {
+                let mut seq8 = [0u8; 8];
+                seq8.copy_from_slice(&buf[8..16]);
+                base_seq = u64::from_le_bytes(seq8);
+                good_end = HEADER_LEN;
+                let mut pos = HEADER_LEN as usize;
+                loop {
+                    let start = pos;
+                    match decode_batch_at(&buf, &mut pos) {
+                        Ok(batch) => {
+                            batches.push((batch.batch_seq, buf[start..pos].to_vec()));
+                            good_end = pos as u64;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        let truncated_bytes = file_len.saturating_sub(good_end);
+        if truncated_bytes > 0 {
+            file.set_len(good_end)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+        let spool = Spool {
+            path: path.to_path_buf(),
+            writer: BufWriter::new(file),
+            len: good_end,
+            entries: batches.len() as u64,
+            base_seq,
+        };
+        Ok(SpoolRecovery { spool, batches, truncated_bytes })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Spool file length in bytes (header + entries + buffered).
+    pub fn bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Entries appended or recovered and not yet cleared by a reset.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Seq floor recorded in the header: the next batch seq to assign
+    /// when the spool holds no entries.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Buffer one sealed batch frame (as produced by
+    /// [`crate::wire::encode_batch`]). NOT durable until [`Spool::sync`]
+    /// returns. The frame is written verbatim — resending after a crash
+    /// is a straight copy off disk.
+    pub fn append_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        if frame.len() < MAGIC.len() || frame[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "spool entries must be relay wire frames",
+            ));
+        }
+        self.writer.write_all(frame)?;
+        self.len += frame.len() as u64;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Flush buffers and fsync. When this returns, every appended batch
+    /// survives a crash — the agent's acceptance point for source data.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()
+    }
+
+    /// Drop all entries (every spooled batch has been acked) and record
+    /// `next_seq` as the new seq floor. Atomic: a fresh header is
+    /// written to a tmp file, fsynced, and renamed over the spool, so a
+    /// crash mid-reset leaves either the old full spool (resent, deduped
+    /// server-side) or the new empty one — never a torn file.
+    pub fn reset(&mut self, next_seq: u64) -> io::Result<()> {
+        self.writer.flush()?;
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            write_header(&mut f, next_seq)?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.writer = BufWriter::new(file);
+        self.len = HEADER_LEN;
+        self.entries = 0;
+        self.base_seq = next_seq;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_batch, Batch, BatchRecord};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("relay-spool-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("spool.q")
+    }
+
+    fn frames() -> Vec<(u64, Vec<u8>)> {
+        (1..=3u64)
+            .map(|seq| {
+                let b = Batch {
+                    agent_id: "agent-1".into(),
+                    batch_seq: seq,
+                    records: vec![BatchRecord {
+                        host: "c0001".into(),
+                        metric: "cpu_user".into(),
+                        samples: vec![(600 * seq, (seq as f64).to_bits())],
+                    }],
+                };
+                (seq, encode_batch(&b).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_everything() {
+        let path = tmp("replay");
+        {
+            let mut rec = Spool::open(&path).unwrap();
+            assert!(rec.batches.is_empty());
+            for (_, f) in frames() {
+                rec.spool.append_frame(&f).unwrap();
+            }
+            rec.spool.sync().unwrap();
+        }
+        let rec = Spool::open(&path).unwrap();
+        assert_eq!(rec.batches, frames());
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.spool.entries(), 3);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// The satellite requirement: cut the spool at EVERY byte offset —
+    /// recovery must yield exactly the batches whose frames lie fully
+    /// before the cut, truncate back to a frame boundary, and never
+    /// panic.
+    #[test]
+    fn truncation_at_every_offset_recovers_prefix() {
+        let path = tmp("torn");
+        {
+            let mut rec = Spool::open(&path).unwrap();
+            for (_, f) in frames() {
+                rec.spool.append_frame(&f).unwrap();
+            }
+            rec.spool.sync().unwrap();
+        }
+        let good = fs::read(&path).unwrap();
+        let mut boundaries = vec![HEADER_LEN as usize];
+        let mut acc = HEADER_LEN as usize;
+        for (_, f) in frames() {
+            acc += f.len();
+            boundaries.push(acc);
+        }
+        assert_eq!(acc, good.len());
+
+        for cut in 0..=good.len() {
+            fs::write(&path, &good[..cut]).unwrap();
+            let rec = Spool::open(&path).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            assert_eq!(rec.batches, frames()[..expect].to_vec(), "cut at {cut}");
+            drop(rec);
+            let after = fs::metadata(&path).unwrap().len() as usize;
+            assert!(
+                boundaries.contains(&after) || after == HEADER_LEN as usize,
+                "cut at {cut} left len {after}"
+            );
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// Corrupt any single byte: recovery keeps at least the batches
+    /// before the damaged frame and never panics. (Damage in the header
+    /// magic is refused as a foreign file; damage in base_seq only moves
+    /// the seq floor, which dedup absorbs.)
+    #[test]
+    fn single_byte_corruption_never_panics_and_keeps_prefix() {
+        let path = tmp("corrupt");
+        {
+            let mut rec = Spool::open(&path).unwrap();
+            for (_, f) in frames() {
+                rec.spool.append_frame(&f).unwrap();
+            }
+            rec.spool.sync().unwrap();
+        }
+        let good = fs::read(&path).unwrap();
+        let mut boundaries = vec![HEADER_LEN as usize];
+        let mut acc = HEADER_LEN as usize;
+        for (_, f) in frames() {
+            acc += f.len();
+            boundaries.push(acc);
+        }
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0xff;
+            fs::write(&path, &bad).unwrap();
+            match Spool::open(&path) {
+                Err(_) => assert!(i < SPOOL_MAGIC.len(), "byte {i} refused outside magic"),
+                Ok(rec) => {
+                    // Every recovered batch must be one we wrote, and the
+                    // prefix before the damaged frame must survive.
+                    let intact =
+                        boundaries.iter().filter(|&&b| b <= i).count().saturating_sub(1);
+                    assert!(rec.batches.len() >= intact, "byte {i}");
+                    assert_eq!(rec.batches[..intact], frames()[..intact], "byte {i}");
+                    for got in &rec.batches {
+                        assert!(frames().contains(got), "byte {i} invented a batch");
+                    }
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reset_records_seq_floor_atomically() {
+        let path = tmp("reset");
+        {
+            let mut rec = Spool::open(&path).unwrap();
+            for (_, f) in frames() {
+                rec.spool.append_frame(&f).unwrap();
+            }
+            rec.spool.sync().unwrap();
+            rec.spool.reset(4).unwrap();
+            assert_eq!(rec.spool.entries(), 0);
+            assert_eq!(rec.spool.base_seq(), 4);
+        }
+        let rec = Spool::open(&path).unwrap();
+        assert!(rec.batches.is_empty());
+        assert_eq!(rec.spool.base_seq(), 4);
+        // Appending after a reset still round-trips.
+        let mut rec = rec;
+        let (_, f) = frames().pop().unwrap();
+        rec.spool.append_frame(&f).unwrap();
+        rec.spool.sync().unwrap();
+        drop(rec);
+        let rec = Spool::open(&path).unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign");
+        fs::write(&path, b"definitely not a spool but long enough").unwrap();
+        assert!(Spool::open(&path).is_err());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn non_frame_append_refused() {
+        let path = tmp("nonframe");
+        let mut rec = Spool::open(&path).unwrap();
+        assert!(rec.spool.append_frame(b"junk").is_err());
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+}

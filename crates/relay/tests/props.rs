@@ -1,0 +1,119 @@
+//! Property-based tests over the relay wire format and spool recovery.
+//!
+//! The nightly soak runs these at `PROPTEST_CASES=1024`; the default
+//! profile keeps the suite fast.
+
+use proptest::prelude::*;
+
+use supremm_relay::spool::Spool;
+use supremm_relay::wire::{decode_batch, decode_batch_at, encode_batch, Batch, BatchRecord};
+
+fn arb_record() -> impl Strategy<Value = BatchRecord> {
+    (
+        "[a-z][a-z0-9-]{0,12}",
+        "[a-z][a-z0-9_]{0,16}",
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..48),
+    )
+        .prop_map(|(host, metric, raw)| {
+            // The chunk codec stores timestamps delta-encoded in append
+            // order; sort and dedup so the series is well-formed.
+            let mut samples: Vec<(u64, u64)> =
+                raw.into_iter().map(|(ts, bits)| (ts as u64, bits)).collect();
+            samples.sort_by_key(|&(ts, _)| ts);
+            samples.dedup_by_key(|&mut (ts, _)| ts);
+            BatchRecord { host, metric, samples }
+        })
+}
+
+fn arb_batch() -> impl Strategy<Value = Batch> {
+    (
+        "[a-z][a-z0-9-]{0,20}",
+        any::<u64>(),
+        proptest::collection::vec(arb_record(), 0..8),
+    )
+        .prop_map(|(agent_id, batch_seq, records)| Batch { agent_id, batch_seq, records })
+}
+
+proptest! {
+    /// Any well-formed batch survives encode → decode bit-exactly —
+    /// including NaN payloads and signed zeros, since values travel as
+    /// raw bits.
+    #[test]
+    fn batches_round_trip_bit_exactly(batch in arb_batch()) {
+        let frame = encode_batch(&batch).unwrap();
+        prop_assert_eq!(decode_batch(&frame).unwrap(), batch);
+    }
+
+    /// The decoder never panics and never invents a different batch, no
+    /// matter where a valid frame is truncated.
+    #[test]
+    fn truncated_frames_error_cleanly(batch in arb_batch(), cut in any::<prop::sample::Index>()) {
+        let frame = encode_batch(&batch).unwrap();
+        let cut = cut.index(frame.len());
+        prop_assert!(decode_batch(&frame[..cut]).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder, and `decode_batch_at`
+    /// leaves the cursor untouched on error (the torn-tail contract).
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut pos = 0usize;
+        match decode_batch_at(&bytes, &mut pos) {
+            Ok(_) => prop_assert!(pos <= bytes.len()),
+            Err(_) => prop_assert_eq!(pos, 0),
+        }
+    }
+
+    /// A single flipped byte anywhere in the frame is either detected or
+    /// decodes to the identical batch — it can never silently corrupt.
+    #[test]
+    fn corruption_is_detected(batch in arb_batch(), ix in any::<prop::sample::Index>(), mask in any::<u8>()) {
+        let frame = encode_batch(&batch).unwrap();
+        let ix = ix.index(frame.len());
+        let mut bad = frame.clone();
+        bad[ix] ^= mask.max(1); // guarantee at least one flipped bit
+        if let Ok(got) = decode_batch(&bad) {
+            prop_assert_eq!(got, batch);
+        }
+    }
+
+    /// Spool recovery after truncation at any offset yields a prefix of
+    /// the appended batches, in order, and never panics.
+    #[test]
+    fn spool_truncation_recovers_a_prefix(
+        batches in proptest::collection::vec(arb_batch(), 1..6),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("relay-props-{}-{:x}", std::process::id(), cut.index(usize::MAX)));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spool.q");
+
+        let mut frames = Vec::new();
+        {
+            let recovery = Spool::open(&path).unwrap();
+            let mut spool = recovery.spool;
+            for (i, b) in batches.iter().enumerate() {
+                // Seqs must be unique within a spool; reuse the index.
+                let b = Batch { batch_seq: i as u64, ..b.clone() };
+                let frame = encode_batch(&b).unwrap();
+                spool.append_frame(&frame).unwrap();
+                frames.push((i as u64, frame));
+            }
+            spool.sync().unwrap();
+        }
+
+        let full = std::fs::read(&path).unwrap();
+        let cut = cut.index(full.len() + 1);
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let recovered = Spool::open(&path).unwrap();
+        prop_assert!(recovered.batches.len() <= frames.len());
+        for (got, want) in recovered.batches.iter().zip(frames.iter()) {
+            prop_assert_eq!(got.0, want.0);
+            prop_assert_eq!(&got.1, &want.1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

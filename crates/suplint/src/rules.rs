@@ -36,7 +36,9 @@ use std::collections::BTreeMap;
 use crate::lexer::{lex, TokKind, Token};
 
 /// Fallible zones (module-path prefixes): decode, WAL replay, segment
-/// open/seal, raw-format scanners, HTTP handlers, store bridges.
+/// open/seal, raw-format scanners, HTTP handlers, store bridges, and
+/// the whole remote-write relay (wire decode, spool recovery, agent
+/// retry loop, admission server).
 pub const R1_ZONES: &[&str] = &[
     "tsdb",
     "taccstats::format",
@@ -44,6 +46,7 @@ pub const R1_ZONES: &[&str] = &[
     "warehouse::tsdbio",
     "warehouse::jobcodec",
     "warehouse::binfmt",
+    "relay",
 ];
 
 /// Serialized-output zones: job records, system series, reports,
@@ -60,6 +63,7 @@ pub const R2_ZONES: &[&str] = &[
     "tsdb::db",
     "tsdb::segment",
     "obs",
+    "relay",
 ];
 
 /// Bit-exact codec arithmetic.

@@ -13,7 +13,7 @@ use supremm_metrics::ExtendedMetric;
 use supremm_procsim::PerfEvent;
 
 use crate::delta::counter_delta;
-use crate::format::{Record, RecordRef};
+use crate::format::{stream_lenient, Record, RecordRef, SampleRef};
 
 /// Per-interval derived metrics for one node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,6 +205,43 @@ pub fn interval_metrics_ref(prev: &RecordRef<'_>, cur: &RecordRef<'_>) -> Option
     m.set(ExtendedMetric::LoadAvg, sum_gauge(cur, DeviceClass::Ps, 2) / 100.0);
 
     Some(m)
+}
+
+/// Reduce one raw archive file to its per-interval [`ExtendedMetric`]
+/// series: for every consecutive same-job record pair, one sample per
+/// metric at the timestamp of the later record.
+///
+/// This is the single reduction shared by the batch store path
+/// (`warehouse::tsdbio::store_archive_series`) and the live collector
+/// agent (`relay::agent`) — both call it, so a store fed over the wire
+/// is bit-identical to one fed from disk by construction. Metrics with
+/// no usable interval are omitted; a file that fails to parse reduces
+/// to an empty series set (the lenient scanner quarantines torn tails).
+pub fn file_extended_series(text: &str) -> Vec<(ExtendedMetric, Vec<(u64, f64)>)> {
+    let Ok(mut samples) = stream_lenient(text) else { return Vec::new() };
+    let mut batches: Vec<Vec<(u64, f64)>> = vec![Vec::new(); ExtendedMetric::ALL.len()];
+    let mut prev: Option<RecordRef<'_>> = None;
+    while let Some(item) = samples.next() {
+        let Ok(sample) = item else { break };
+        let SampleRef::Record(rec) = sample else { continue };
+        if let Some(p) = &prev {
+            if p.job == rec.job {
+                if let Some(m) = interval_metrics_ref(p, &rec) {
+                    for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
+                        batches[i].push((rec.ts.0, m.get(*metric)));
+                    }
+                }
+            }
+        }
+        prev = Some(rec);
+    }
+    let mut out = Vec::new();
+    for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
+        if !batches[i].is_empty() {
+            out.push((*metric, std::mem::take(&mut batches[i])));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -18,9 +18,8 @@
 use std::collections::BTreeMap;
 use std::io;
 
-use supremm_metrics::{ExtendedMetric, Timestamp};
-use supremm_taccstats::derive::interval_metrics_ref;
-use supremm_taccstats::format::{stream_lenient, RecordRef, SampleRef};
+use supremm_metrics::Timestamp;
+use supremm_taccstats::derive::file_extended_series;
 use supremm_taccstats::RawArchive;
 use supremm_tsdb::{Selector, Tsdb, TsdbError};
 
@@ -146,30 +145,10 @@ fn into_sorted_bins(bins: BTreeMap<u64, SystemBin>) -> Vec<SystemBin> {
 pub fn store_archive_series(db: &mut Tsdb, archive: &RawArchive) -> io::Result<u64> {
     let mut appended = 0u64;
     for (key, text) in archive.iter() {
-        let Ok(mut samples) = stream_lenient(text) else { continue };
         let host = key.host.hostname();
-        let mut batches: Vec<Vec<(u64, f64)>> =
-            vec![Vec::new(); ExtendedMetric::ALL.len()];
-        let mut prev: Option<RecordRef<'_>> = None;
-        while let Some(item) = samples.next() {
-            let Ok(sample) = item else { break };
-            let SampleRef::Record(rec) = sample else { continue };
-            if let Some(p) = &prev {
-                if p.job == rec.job {
-                    if let Some(m) = interval_metrics_ref(p, &rec) {
-                        for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
-                            batches[i].push((rec.ts.0, m.get(*metric)));
-                        }
-                    }
-                }
-            }
-            prev = Some(rec);
-        }
-        for (i, metric) in ExtendedMetric::ALL.iter().enumerate() {
-            if !batches[i].is_empty() {
-                appended += batches[i].len() as u64;
-                db.append_batch(&host, metric.name(), &batches[i])?;
-            }
+        for (metric, samples) in file_extended_series(text) {
+            appended += samples.len() as u64;
+            db.append_batch(&host, metric.name(), &samples)?;
         }
     }
     Ok(appended)
@@ -179,7 +158,7 @@ pub fn store_archive_series(db: &mut Tsdb, archive: &RawArchive) -> io::Result<u
 mod tests {
     use super::*;
     use std::path::PathBuf;
-    use supremm_metrics::{HostId, JobId};
+    use supremm_metrics::{ExtendedMetric, HostId, JobId};
     use supremm_procsim::{KernelState, NodeActivity, NodeSpec};
     use supremm_taccstats::Collector;
 

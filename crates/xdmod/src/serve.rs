@@ -5,12 +5,25 @@
 //! `std::net`: a small HTTP/1.1 responder exposing
 //!
 //! ```text
-//! GET /healthz
-//! GET /v1/summary
-//! GET /v1/query?dimension=<d>&statistic=<s>[&metric=<m>][&top=<n>]
-//! GET /v1/series?[host=<h>][&metric=<m>][&t0=<s>][&t1=<s>][&bin=<s>][&agg=<a>]
-//! GET /v1/metrics[?format=prometheus|json]
+//! GET  /healthz
+//! GET  /v1/summary
+//! GET  /v1/query?dimension=<d>&statistic=<s>[&metric=<m>][&top=<n>]
+//! GET  /v1/series?[host=<h>][&metric=<m>][&t0=<s>][&t1=<s>][&bin=<s>][&agg=<a>]
+//! GET  /v1/metrics[?format=prometheus|json]
+//! POST /v1/write                (relay wire frame in the body)
 //! ```
+//!
+//! `POST /v1/write` is the live remote-write path: the body is one relay
+//! wire frame ([`supremm_relay::wire`]) and the request is handed to the
+//! attached [`IngestCore`] ([`ServeOptions::ingest`]). The response
+//! ladder is 413 (body over [`ServeOptions::max_body_bytes`], refused
+//! before the body is read) → 400 (undecodable frame) → 429 +
+//! `Retry-After` (admission queue full or draining) → 200 (the batch is
+//! durable — applied and WAL-synced — or a dedup-confirmed duplicate).
+//! The write path never answers 5xx. Request bodies are read for every
+//! method (a body left on the stream would desync keep-alive parsing);
+//! over-limit bodies force a connection close because the stream cannot
+//! be resynced past bytes the server refuses to read.
 //!
 //! `/v1/series` answers straight from the `tsdb` storage engine when one
 //! is attached (time-range + host/metric predicates, optional
@@ -44,12 +57,13 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use supremm_metrics::json::{obj, Value};
 use supremm_obs::{Counter, Gauge, Histogram, ObsHandle, ObsRegistry, Timer};
 use supremm_metrics::KeyMetric;
+use supremm_relay::{IngestCore, WriteOutcome};
 use supremm_warehouse::tsdb::{Agg, Selector, Tsdb};
 use supremm_warehouse::JobTable;
 
@@ -61,15 +75,24 @@ pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
     pub body: String,
+    /// Backpressure hint for 429/503 answers: emitted as `Retry-After`
+    /// (whole seconds, rounded up) and `X-Retry-After-Ms` headers so
+    /// clients that understand milliseconds don't over-wait.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Response {
     fn json(status: u16, body: String) -> Response {
-        Response { status, content_type: "application/json", body }
+        Response { status, content_type: "application/json", body, retry_after_ms: None }
     }
 
     fn error(status: u16, msg: &str) -> Response {
         Response::json(status, format!("{{\"error\":{:?}}}", msg))
+    }
+
+    fn with_retry_after(mut self, ms: u64) -> Response {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// Serialise as a close-delimited HTTP/1.1 message.
@@ -84,14 +107,25 @@ impl Response {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
             _ => "Error",
         };
+        let retry = match self.retry_after_ms {
+            Some(ms) => format!(
+                "Retry-After: {}\r\nX-Retry-After-Ms: {ms}\r\n",
+                ms.div_ceil(1000).max(1)
+            ),
+            None => String::new(),
+        };
         format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
+            retry,
             if keep_alive { "keep-alive" } else { "close" },
             self.body
         )
@@ -360,6 +394,7 @@ pub fn handle_with_obs(
                     status: 200,
                     content_type: "text/plain; version=0.0.4",
                     body: supremm_obs::render_prometheus(&snap),
+                    retry_after_ms: None,
                 },
                 "json" => Response::json(200, metrics_json(&snap).to_string()),
                 other => {
@@ -374,7 +409,7 @@ pub fn handle_with_obs(
 // --- response cache -------------------------------------------------------
 
 /// Tuning for the pooled serve loop.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Accept-loop worker threads.
     pub threads: usize,
@@ -385,6 +420,25 @@ pub struct ServeOptions {
     pub slow_query_micros: u64,
     /// Registry the serve loop reports into.
     pub obs: ObsHandle,
+    /// Ingest core behind `POST /v1/write`; without one the endpoint
+    /// answers 503. The serve loop drains it on shutdown.
+    pub ingest: Option<Arc<IngestCore>>,
+    /// Largest acceptable request body. Beyond it the server answers
+    /// 413 *without reading the body* and closes the connection (the
+    /// stream cannot be resynced past bytes it refuses to read).
+    pub max_body_bytes: usize,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("threads", &self.threads)
+            .field("cache_entries", &self.cache_entries)
+            .field("slow_query_micros", &self.slow_query_micros)
+            .field("ingest", &self.ingest.is_some())
+            .field("max_body_bytes", &self.max_body_bytes)
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
@@ -394,6 +448,8 @@ impl Default for ServeOptions {
             cache_entries: 256,
             slow_query_micros: 100_000,
             obs: supremm_obs::global(),
+            ingest: None,
+            max_body_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -401,8 +457,8 @@ impl Default for ServeOptions {
 /// The serve layer's canonical endpoint labels (everything else is
 /// `other`). Fixed set, so per-endpoint handles are pre-registered and
 /// the per-request path is lock-free.
-const ENDPOINTS: [&str; 6] =
-    ["healthz", "v1_summary", "v1_query", "v1_series", "v1_metrics", "other"];
+const ENDPOINTS: [&str; 7] =
+    ["healthz", "v1_summary", "v1_query", "v1_series", "v1_metrics", "v1_write", "other"];
 
 fn endpoint_index(request_line: &str) -> usize {
     let path = request_line
@@ -416,7 +472,8 @@ fn endpoint_index(request_line: &str) -> usize {
         "/v1/query" => 2,
         "/v1/series" => 3,
         "/v1/metrics" => 4,
-        _ => 5,
+        "/v1/write" => 5,
+        _ => 6,
     }
 }
 
@@ -709,6 +766,41 @@ fn respond_inner(
     resp
 }
 
+/// Answer one POST request. `None` means the ingest core's chaos plan
+/// severed the connection: close the socket without writing anything.
+fn respond_post(
+    ingest: Option<&IngestCore>,
+    met: &ServeMetrics,
+    request_line: &str,
+    body: &[u8],
+) -> Option<Response> {
+    let t = Timer::start();
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .map(|t| t.split_once('?').map_or(t, |(p, _)| p))
+        .unwrap_or("");
+    let resp = match (path, ingest) {
+        ("/v1/write", Some(core)) => match core.submit(body) {
+            WriteOutcome::Acked { seq, deduped } => {
+                Response::json(200, format!("{{\"acked\":{seq},\"deduped\":{deduped}}}"))
+            }
+            WriteOutcome::Busy { retry_after_ms } => {
+                Response::error(429, "admission queue full").with_retry_after(retry_after_ms)
+            }
+            WriteOutcome::Malformed(why) => Response::error(400, &why),
+            WriteOutcome::TooLarge { limit } => {
+                Response::error(413, &format!("body exceeds {limit} bytes"))
+            }
+            WriteOutcome::SeverConnection => return None,
+        },
+        ("/v1/write", None) => Response::error(503, "ingest not enabled"),
+        _ => Response::error(404, "unknown path"),
+    };
+    met.record(request_line, t.elapsed_micros(), &resp);
+    Some(resp)
+}
+
 // --- connection + accept loops --------------------------------------------
 
 /// Hard ceiling on requests served per connection before forcing a
@@ -732,6 +824,8 @@ fn serve_connection(
     view: StoreView<'_>,
     cache: Option<&ResponseCache>,
     met: &ServeMetrics,
+    ingest: Option<&IngestCore>,
+    max_body_bytes: usize,
 ) {
     let _conn = ConnGuard::enter(&met.active_connections);
     if stream.set_nonblocking(false).is_err()
@@ -778,18 +872,57 @@ fn serve_connection(
         // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an
         // explicit Connection header overrides either way.
         let mut keep = request_line.ends_with("HTTP/1.1");
+        let mut content_length = 0usize;
+        let mut bad_length = false;
         for header in lines {
             let Some((name, value)) = header.split_once(':') else { continue };
-            if name.trim().eq_ignore_ascii_case("connection") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("connection") {
                 let value = value.trim();
                 if value.eq_ignore_ascii_case("close") {
                     keep = false;
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep = true;
                 }
+            } else if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => bad_length = true,
+                }
             }
         }
-        let resp = respond(table, view, cache, met, request_line);
+        if bad_length {
+            let resp = Response::error(400, "unparseable content-length");
+            let _ = stream.write_all(resp.to_http_with(false).as_bytes());
+            return;
+        }
+        if content_length > max_body_bytes {
+            let resp = Response::error(413, &format!("body exceeds {max_body_bytes} bytes"));
+            met.record(request_line, 0, &resp);
+            let _ = stream.write_all(resp.to_http_with(false).as_bytes());
+            return;
+        }
+        // Read the declared body for every method — bytes left on the
+        // stream would desync the next keep-alive request.
+        let mut body: Vec<u8> = Vec::new();
+        if content_length > 0 {
+            while buf.len() < content_length {
+                match stream.read(&mut scratch) {
+                    Ok(0) => return,
+                    Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                    Err(_) => return, // timeout mid-body
+                }
+            }
+            body = buf.drain(..content_length).collect();
+        }
+        let resp = if request_line.starts_with("POST ") {
+            match respond_post(ingest, met, request_line, &body) {
+                Some(r) => r,
+                None => return, // chaos plan: sever without answering
+            }
+        } else {
+            respond(table, view, cache, met, request_line)
+        };
         served += 1;
         let keep = keep && served < MAX_REQUESTS_PER_CONN;
         if stream.write_all(resp.to_http_with(keep).as_bytes()).is_err() || !keep {
@@ -816,6 +949,7 @@ fn serve_pooled(
     listeners.push(listener);
     let cache = ResponseCache::new(opts.cache_entries);
     let met = ServeMetrics::new(opts);
+    let ingest = opts.ingest.as_deref();
     std::thread::scope(|scope| {
         for l in listeners {
             let cache = &cache;
@@ -824,7 +958,15 @@ fn serve_pooled(
                 while !shutdown.load(Ordering::Relaxed) {
                     match l.accept() {
                         Ok((stream, _)) => {
-                            serve_connection(stream, table, view, Some(cache), met);
+                            serve_connection(
+                                stream,
+                                table,
+                                view,
+                                Some(cache),
+                                met,
+                                ingest,
+                                opts.max_body_bytes,
+                            );
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(2));
@@ -839,6 +981,12 @@ fn serve_pooled(
             });
         }
     });
+    // Workers have stopped accepting; flush every admitted batch into
+    // the store before returning. A 200 already promised durability —
+    // the drain keeps that promise across shutdown.
+    if let Some(ingest) = &opts.ingest {
+        ingest.drain();
+    }
     Ok(())
 }
 
@@ -1377,6 +1525,149 @@ mod tests {
 
         shutdown.store(true, Ordering::Relaxed);
         server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_after_headers_are_emitted() {
+        let r = Response::error(429, "busy").with_retry_after(1500);
+        let http = r.to_http_with(true);
+        assert!(http.starts_with("HTTP/1.1 429 Too Many Requests"), "{http}");
+        assert!(http.contains("Retry-After: 2\r\n"), "{http}");
+        assert!(http.contains("X-Retry-After-Ms: 1500\r\n"), "{http}");
+        let plain = Response::error(400, "x").to_http();
+        assert!(!plain.contains("Retry-After"), "{plain}");
+    }
+
+    #[test]
+    fn write_outcomes_map_to_http_statuses() {
+        let dir = std::env::temp_dir().join(format!("serve-post-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let obs: ObsHandle = Arc::new(ObsRegistry::new());
+        let store = Arc::new(RwLock::new(Tsdb::open(&dir).unwrap()));
+        let core = IngestCore::start(
+            store,
+            supremm_relay::IngestOptions { obs: obs.clone(), ..Default::default() },
+        );
+        let opts = ServeOptions { obs, ..ServeOptions::default() };
+        let met = ServeMetrics::new(&opts);
+
+        // No ingest core attached: 503.
+        let r = respond_post(None, &met, "POST /v1/write HTTP/1.1", b"").unwrap();
+        assert_eq!(r.status, 503);
+        // POSTs to other paths are clean 404s.
+        let r = respond_post(Some(&core), &met, "POST /healthz HTTP/1.1", b"").unwrap();
+        assert_eq!(r.status, 404);
+        // Garbage frame: 400.
+        let r = respond_post(Some(&core), &met, "POST /v1/write HTTP/1.1", b"junk").unwrap();
+        assert_eq!(r.status, 400);
+        // A valid frame acks with its seq.
+        let frame = supremm_relay::encode_batch(&supremm_relay::Batch {
+            agent_id: "a1".into(),
+            batch_seq: 7,
+            records: vec![supremm_relay::BatchRecord {
+                host: "h".into(),
+                metric: "m".into(),
+                samples: vec![(600, 1.5f64.to_bits())],
+            }],
+        })
+        .unwrap();
+        let r = respond_post(Some(&core), &met, "POST /v1/write HTTP/1.1", &frame).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"acked\":7"), "{}", r.body);
+        assert!(r.body.contains("\"deduped\":false"), "{}", r.body);
+        // Draining: 429 with a retry hint.
+        core.begin_drain();
+        let r = respond_post(Some(&core), &met, "POST /v1/write HTTP/1.1", &frame).unwrap();
+        assert_eq!(r.status, 429);
+        assert!(r.retry_after_ms.is_some());
+        core.drain();
+        let snap = met.obs.snapshot();
+        // Four of the five POSTs hit /v1/write (one went to /healthz).
+        assert_eq!(snap.counter("serve_requests_total{endpoint=\"v1_write\"}"), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn post_write_ingests_and_oversized_bodies_get_413() {
+        use std::sync::atomic::AtomicBool;
+
+        let dir = std::env::temp_dir().join(format!("serve-write-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = Arc::new(RwLock::new(Tsdb::open(&dir).unwrap()));
+        let obs: ObsHandle = Arc::new(ObsRegistry::new());
+        let core = IngestCore::start(
+            store.clone(),
+            supremm_relay::IngestOptions { obs: obs.clone(), ..Default::default() },
+        );
+        let t = table();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let opts = ServeOptions {
+            threads: 2,
+            obs,
+            ingest: Some(core),
+            max_body_bytes: 4096,
+            ..ServeOptions::default()
+        };
+        let server_store = store.clone();
+        let server = std::thread::spawn(move || {
+            let _ = serve_shared(&t, Some(&server_store), listener, &flag, &opts);
+        });
+
+        let frame = supremm_relay::encode_batch(&supremm_relay::Batch {
+            agent_id: "a1".into(),
+            batch_seq: 0,
+            records: vec![supremm_relay::BatchRecord {
+                host: "h".into(),
+                metric: "m".into(),
+                samples: vec![(600, 1.25f64.to_bits())],
+            }],
+        })
+        .unwrap();
+        let head = format!(
+            "POST /v1/write HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            frame.len()
+        );
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&frame).unwrap();
+        let resp = read_response(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"acked\":0"), "{resp}");
+        // Retry of the same frame over the same keep-alive socket: the
+        // ack repeats but the store is not double-written.
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&frame).unwrap();
+        let resp = read_response(&mut stream);
+        assert!(resp.contains("\"deduped\":true"), "{resp}");
+        // GETs interleave on the same connection after a POST body.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        // Over-limit body: refused before it is read, connection closes.
+        stream
+            .write_all(b"POST /v1/write HTTP/1.1\r\nHost: t\r\nContent-Length: 5000\r\n\r\n")
+            .unwrap();
+        let resp = read_response(&mut stream);
+        assert!(resp.starts_with("HTTP/1.1 413 Payload Too Large"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        // The serve loop drained the core on exit: the acked batch is in
+        // the store, exactly once.
+        let db = store.read().unwrap_or_else(|e| e.into_inner());
+        let series = db.query(&Selector::default(), 0, u64::MAX).unwrap();
+        let total: usize = series.iter().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 1, "acked batch must land exactly once");
+        drop(db);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
