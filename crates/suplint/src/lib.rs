@@ -1,21 +1,32 @@
 //! `suplint` — the workspace's own static-analysis pass.
 //!
 //! Dependency-free by design: a hand-rolled lexer ([`lexer`]), a
-//! token-stream rule engine with module scoping ([`rules`]), a
-//! committed findings baseline ([`baseline`]) and a JSON/human reporter
+//! recursive-descent item-tree layer ([`syntax`]), a token-stream rule
+//! engine with module scoping ([`rules`]), a workspace call graph with
+//! the interprocedural rules R5/R6 ([`callgraph`]), a committed
+//! findings baseline ([`baseline`]) and a JSON/SARIF/human reporter
 //! ([`report`]). See DESIGN.md § "Static analysis & enforced
 //! invariants" for the rule catalogue and zone map.
+//!
+//! The pass runs in two phases: per-file analysis (token rules, waiver
+//! map, item tree), then workspace-global analysis (call-graph
+//! resolution, panic propagation, lock ordering) over the collected
+//! item trees. [`lint_sources`] is the phase driver over in-memory
+//! sources; [`lint_workspace`] feeds it from disk.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
+use callgraph::{Ambiguity, CallGraph, WaiverIndex};
 use report::Assessment;
 use rules::{Finding, SourceFile, HARD_RULES};
 
@@ -24,6 +35,9 @@ use rules::{Finding, SourceFile, HARD_RULES};
 pub struct LintRun {
     pub findings: Vec<Finding>,
     pub files_scanned: usize,
+    /// Call sites the graph refused to resolve (≥2 candidates). Not
+    /// failures — visibility into where the taint analysis is blind.
+    pub ambiguities: Vec<Ambiguity>,
 }
 
 fn is_test_dir(name: &str) -> bool {
@@ -101,19 +115,53 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintRun> {
     }
     files.sort();
 
-    let mut findings = Vec::new();
-    let files_scanned = files.len();
+    let mut sources: Vec<(SourceFile, Vec<u8>)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = classify(&rel);
         let src = std::fs::read(&path)?;
-        findings.extend(rules::lint_file(&file, &src));
+        sources.push((classify(&rel), src));
     }
-    Ok(LintRun { findings, files_scanned })
+    Ok(lint_sources(&sources))
+}
+
+/// The two-phase pass over in-memory sources. Phase 1 runs the token
+/// rules per file and collects each file's waiver map and item tree;
+/// phase 2 builds the workspace call graph and runs R5 (panic
+/// propagation) and R6 (lock order), applying the same per-line
+/// waivers. Tests feed synthetic multi-crate fixtures through this.
+pub fn lint_sources(sources: &[(SourceFile, Vec<u8>)]) -> LintRun {
+    let mut findings = Vec::new();
+    let mut waivers: WaiverIndex = WaiverIndex::new();
+    let mut trees: Vec<(SourceFile, syntax::FileItems)> = Vec::new();
+    for (file, src) in sources {
+        let analysis = rules::analyze_file(file, src);
+        findings.extend(analysis.findings);
+        if !analysis.waived_lines.is_empty() {
+            waivers.insert(file.path.clone(), analysis.waived_lines);
+        }
+        trees.push((file.clone(), analysis.items));
+    }
+
+    let graph = CallGraph::build(&trees);
+    let mut global = callgraph::panic_propagation(&graph, &waivers);
+    global.extend(callgraph::lock_order(&graph, &waivers));
+    for f in &mut global {
+        let covered = waivers
+            .get(&f.file)
+            .and_then(|m| m.get(&f.line))
+            .is_some_and(|rules| rules.iter().any(|r| r == f.rule));
+        if covered {
+            f.waived = true;
+        }
+    }
+    findings.extend(global);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    LintRun { findings, files_scanned: sources.len(), ambiguities: graph.ambiguities }
 }
 
 /// Group non-waived findings by `(rule, file)` — the baseline key.
@@ -167,6 +215,37 @@ mod tests {
     }
 
     #[test]
+    fn lint_sources_runs_both_phases() {
+        let sources = vec![
+            (
+                classify("crates/tsdb/src/wal.rs"),
+                b"pub fn replay() { supremm_metrics::parse::field(); }".to_vec(),
+            ),
+            (
+                classify("crates/metrics/src/parse.rs"),
+                b"pub fn field() -> u8 { \"7\".parse().expect(\"digit\") }".to_vec(),
+            ),
+        ];
+        let run = lint_sources(&sources);
+        let rules: Vec<&str> = run.findings.iter().filter(|f| !f.waived).map(|f| f.rule).collect();
+        // R5 fires in the zone file; the panic site itself is outside
+        // every R1 zone, so no R1.
+        assert_eq!(rules, vec!["R5"], "{:?}", run.findings);
+        assert!(run.findings[0].message.contains("tsdb::wal::replay → metrics::parse::field"));
+
+        // Waiving the panic site kills the taint seed.
+        let waived = vec![
+            sources[0].clone(),
+            (
+                classify("crates/metrics/src/parse.rs"),
+                b"pub fn field() -> u8 { \"7\".parse().expect(\"digit\") } // suplint: allow(R5) -- literal digit always parses".to_vec(),
+            ),
+        ];
+        let run2 = lint_sources(&waived);
+        assert!(run2.findings.iter().all(|f| f.waived || f.rule != "R5"), "{:?}", run2.findings);
+    }
+
+    #[test]
     fn assess_ratchets_against_the_baseline() {
         let mk = |rule: &'static str, file: &str, line: u32| Finding {
             rule,
@@ -183,6 +262,7 @@ mod tests {
                 mk("R1", "c.rs", 4),
             ],
             files_scanned: 3,
+            ambiguities: Vec::new(),
         };
         let mut groups = BTreeMap::new();
         groups.insert(("R2".to_string(), "a.rs".to_string()), 2usize);

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use suplint::baseline::Baseline;
-use suplint::report::{render_human, render_json};
+use suplint::report::{render_human, render_json, render_sarif};
 use suplint::{assess, group_counts, lint_workspace, rules};
 
 const USAGE: &str = "usage: suplint --workspace [options]
@@ -19,6 +19,7 @@ options:
   --write-baseline       rewrite the baseline from current findings and exit
   --json <path>          machine-readable report (default: <root>/lint_report.json)
   --no-json              skip writing the JSON report
+  --format sarif         also write SARIF 2.1.0 next to the JSON report (lint_report.sarif)
   --rules                print the rule catalogue and exit
 ";
 
@@ -38,6 +39,7 @@ fn run() -> std::io::Result<ExitCode> {
     let mut json_path: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut no_json = false;
+    let mut sarif = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +49,13 @@ fn run() -> std::io::Result<ExitCode> {
             "--baseline" => baseline_path = Some(PathBuf::from(args.next().unwrap_or_default())),
             "--json" => json_path = Some(PathBuf::from(args.next().unwrap_or_default())),
             "--no-json" => no_json = true,
+            "--format" => match args.next().as_deref() {
+                Some("sarif") => sarif = true,
+                other => {
+                    eprintln!("suplint: unknown format {other:?} (supported: sarif)\n{USAGE}");
+                    return Ok(ExitCode::from(2));
+                }
+            },
             "--write-baseline" => write_baseline = true,
             "--rules" => {
                 for (id, desc) in rules::RULES {
@@ -94,7 +103,11 @@ fn run() -> std::io::Result<ExitCode> {
 
     if !no_json {
         let json_path = json_path.unwrap_or_else(|| root.join("lint_report.json"));
-        std::fs::write(&json_path, render_json(&run.findings, &assessment))?;
+        std::fs::write(&json_path, render_json(&run.findings, &assessment, &run.ambiguities))?;
+        if sarif {
+            let sarif_path = json_path.with_extension("sarif");
+            std::fs::write(&sarif_path, render_sarif(&run.findings, &assessment))?;
+        }
     }
 
     let waived: Vec<_> = run.findings.iter().filter(|f| f.waived).cloned().collect();

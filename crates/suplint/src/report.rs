@@ -1,9 +1,18 @@
-//! Human diagnostics and the machine-readable `lint_report.json`.
+//! Human diagnostics and the machine-readable reports:
+//! `lint_report.json` (schema v2, with call-graph ambiguities) and an
+//! optional SARIF 2.1.0 rendering for code-scanning UIs.
 //!
 //! JSON is emitted by hand (escaping per RFC 8259) — the linter lints
-//! the serializers, so it cannot depend on them.
+//! the serializers, so it cannot depend on them. Both renderings are
+//! byte-deterministic: findings arrive pre-sorted and every map is
+//! iterated in a fixed order.
 
+use crate::callgraph::Ambiguity;
 use crate::rules::{Finding, RULES};
+
+/// Schema stamp for both report formats. v2 added `schema_version`
+/// itself, the `ambiguities` section, and rules R5–R8.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Outcome of comparing findings against the baseline.
 #[derive(Debug, Default)]
@@ -39,10 +48,31 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Status of one finding relative to the baseline, for both renderers.
+fn status_of(f: &Finding, assessment: &Assessment) -> &'static str {
+    if f.waived {
+        return "waived";
+    }
+    let is_new = assessment
+        .new
+        .iter()
+        .any(|n| n.file == f.file && n.line == f.line && n.rule == f.rule);
+    if is_new {
+        "new"
+    } else {
+        "baselined"
+    }
+}
+
 /// The full JSON report: rule catalogue, every finding (with its
-/// status), and the summary the CI gate reads.
-pub fn render_json(findings: &[Finding], assessment: &Assessment) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"rules\": {\n");
+/// status), unresolved call-graph ambiguities, and the summary the CI
+/// gate reads.
+pub fn render_json(
+    findings: &[Finding],
+    assessment: &Assessment,
+    ambiguities: &[Ambiguity],
+) -> String {
+    let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"rules\": {{\n");
     for (i, (id, desc)) in RULES.iter().enumerate() {
         out.push_str(&format!(
             "    \"{}\": \"{}\"{}\n",
@@ -52,41 +82,84 @@ pub fn render_json(findings: &[Finding], assessment: &Assessment) -> String {
         ));
     }
     out.push_str("  },\n  \"findings\": [\n");
-    let new_lines: std::collections::BTreeSet<(String, u32, String)> = assessment
-        .new
-        .iter()
-        .map(|f| (f.file.clone(), f.line, f.rule.to_string()))
-        .collect();
     for (i, f) in findings.iter().enumerate() {
-        let status = if f.waived {
-            "waived"
-        } else if new_lines.contains(&(f.file.clone(), f.line, f.rule.to_string())) {
-            "new"
-        } else {
-            "baselined"
-        };
         out.push_str(&format!(
             "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"status\": \"{}\", \"message\": \"{}\"}}{}\n",
             f.rule,
             json_escape(&f.file),
             f.line,
-            status,
+            status_of(f, assessment),
             json_escape(&f.message),
             if i + 1 < findings.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"ambiguities\": [\n");
+    for (i, a) in ambiguities.iter().enumerate() {
+        let cands: Vec<String> =
+            a.candidates.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"call\": \"{}\", \"candidates\": [{}]}}{}\n",
+            json_escape(&a.file),
+            a.line,
+            json_escape(&a.path),
+            cands.join(", "),
+            if i + 1 < ambiguities.len() { "," } else { "" }
+        ));
+    }
     out.push_str(&format!(
-        "  ],\n  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"waived\": {}, \"files_scanned\": {}}}\n}}\n",
+        "  ],\n  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"waived\": {}, \"ambiguities\": {}, \"files_scanned\": {}}}\n}}\n",
         assessment.total(),
         assessment.new.len(),
         assessment.baselined,
         assessment.waived,
+        ambiguities.len(),
         assessment.files_scanned
     ));
     out
 }
 
-/// Compiler-style human diagnostics, new findings first.
+/// Minimal SARIF 2.1.0: one run, the rule catalogue as
+/// `tool.driver.rules`, one result per finding. Levels: `error` for
+/// new findings, `warning` for baselined, `note` for waived.
+pub fn render_sarif(findings: &[Finding], assessment: &Assessment) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+    );
+    out.push_str(&format!(
+        "  \"properties\": {{\"schema_version\": {SCHEMA_VERSION}}},\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \"driver\": {{\n          \"name\": \"suplint\",\n          \"rules\": [\n"
+    ));
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            id,
+            json_escape(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let level = match status_of(f, assessment) {
+            "new" => "error",
+            "baselined" => "warning",
+            _ => "note",
+        };
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            f.rule,
+            level,
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line.max(1),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Compiler-style human diagnostics, new findings first. The
+/// `{file}:{line}: [{rule}] {message}` shape is load-bearing: CI's
+/// GitHub problem matcher parses it for inline annotations.
 pub fn render_human(assessment: &Assessment, waived: &[Finding]) -> String {
     let mut out = String::new();
     for f in &assessment.new {
@@ -110,8 +183,7 @@ pub fn render_human(assessment: &Assessment, waived: &[Finding]) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_escapes_and_balances() {
+    fn sample() -> (Vec<Finding>, Assessment, Vec<Ambiguity>) {
         let findings = vec![Finding {
             rule: "R1",
             file: "a \"b\"\\c.rs".into(),
@@ -122,10 +194,55 @@ mod tests {
         let mut a = Assessment::default();
         a.new = findings.clone();
         a.files_scanned = 1;
-        let json = render_json(&findings, &a);
+        let ambs = vec![Ambiguity {
+            file: "x.rs".into(),
+            line: 9,
+            path: "frob".into(),
+            candidates: vec!["a::A::frob".into(), "b::B::frob".into()],
+        }];
+        (findings, a, ambs)
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let (findings, a, ambs) = sample();
+        let json = render_json(&findings, &a, &ambs);
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("a \\\"b\\\"\\\\c.rs"));
         assert!(json.contains("tab\\there"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"new\": 1"));
+        assert!(json.contains("\"ambiguities\": 1"));
+        assert!(json.contains("\"call\": \"frob\""));
+    }
+
+    #[test]
+    fn sarif_levels_follow_status() {
+        let (mut findings, mut a, _) = sample();
+        findings.push(Finding {
+            rule: "R7",
+            file: "w.rs".into(),
+            line: 5,
+            message: "waived one".into(),
+            waived: true,
+        });
+        a.waived = 1;
+        let sarif = render_sarif(&findings, &a);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"schema_version\": 2"));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        // Every rule in the catalogue is declared.
+        for (id, _) in RULES {
+            assert!(sarif.contains(&format!("{{\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let (findings, a, ambs) = sample();
+        assert_eq!(render_json(&findings, &a, &ambs), render_json(&findings, &a, &ambs));
+        assert_eq!(render_sarif(&findings, &a), render_sarif(&findings, &a));
     }
 }

@@ -25,11 +25,36 @@
 //!   `.lock().expect()` — a poisoned mutex must be recovered, not
 //!   amplified into an abort — and no lock guard held across a
 //!   blocking `recv()`/IO call in the same expression chain.
+//! - **R7 hot-path allocation discipline**: `.to_vec()`, `.clone()`,
+//!   `format!` and `String::from` in the tsdb query/codec and relay
+//!   wire-decode zones must carry a waiver naming why the copy is
+//!   unavoidable — the query path's latency budget is an allocation
+//!   budget.
+//! - **R8 obs metric hygiene** (everywhere outside `obs` itself):
+//!   metric names passed to `.counter()`/`.gauge()`/`.histogram()`
+//!   must be string literals (or `concat!` of literals) matching the
+//!   `name{k="v",…}` grammar, and must not be registered inside loop
+//!   bodies — registration takes the family write lock.
+//!
+//! Two rules are *interprocedural* and live in [`crate::callgraph`],
+//! fed by the item trees this module extracts per file:
+//!
+//! - **R5 panic propagation**: a function in an R1 zone must not be
+//!   able to *reach* a panic-capable token through any workspace call
+//!   chain (fixed-point taint over the call graph, diagnostics carry
+//!   the chain). Joins R1/W0 as never-baselinable.
+//! - **R6 lock-order consistency**: the global lock-acquisition order
+//!   graph (built from guard scopes and calls made while guards are
+//!   held) must be acyclic; a cycle is a potential deadlock. Named
+//!   guards held across blocking calls are R6 too (R4 only sees
+//!   single-expression chains).
 //!
 //! Waiver syntax: `// suplint: allow(R1) -- <justification>` on the
 //! offending line or the line directly above. The justification is
 //! mandatory; a waiver without one is itself a finding (**W0**), and
-//! W0/R1 findings can never be baselined away.
+//! W0/R1/R5 findings can never be baselined away. An `allow(R1)` on a
+//! panic site also removes it as an R5 taint seed: the justification
+//! asserts the panic cannot fire, so there is nothing to propagate.
 
 use std::collections::BTreeMap;
 
@@ -69,10 +94,14 @@ pub const R2_ZONES: &[&str] = &[
 /// Bit-exact codec arithmetic.
 pub const R3_ZONES: &[&str] = &["tsdb::codec"];
 
+/// Allocation-budget zones: the tsdb query/codec hot path and the relay
+/// wire decoder. Every heap copy here must be argued for.
+pub const R7_ZONES: &[&str] = &["tsdb::codec", "tsdb::db", "tsdb::segment", "relay::wire"];
+
 /// Rules that may never be baselined: panic-freedom in the fallible
-/// zones is the point of the whole exercise, and a waiver without a
-/// reason is not a waiver.
-pub const HARD_RULES: &[&str] = &["R1", "W0"];
+/// zones is the point of the whole exercise — token-local (R1) or via
+/// any call chain (R5) — and a waiver without a reason is not a waiver.
+pub const HARD_RULES: &[&str] = &["R1", "R5", "W0"];
 
 /// Rule catalogue for reports.
 pub const RULES: &[(&str, &str)] = &[
@@ -80,6 +109,10 @@ pub const RULES: &[(&str, &str)] = &[
     ("R2", "determinism: no HashMap/HashSet in serialized-output zones (use BTreeMap or sort)"),
     ("R3", "codec arithmetic: bare + - * << in tsdb::codec must be wrapping_*/checked_*"),
     ("R4", "lock hygiene: no .lock().unwrap()/.expect(); no guard held across blocking calls"),
+    ("R5", "panic propagation: no call chain from an R1-zone fn to a panic-capable token"),
+    ("R6", "lock order: global acquisition-order graph must be acyclic; no guard across blocking calls"),
+    ("R7", "hot-path allocation: to_vec/clone/format!/String::from in query/codec/wire zones need a waiver"),
+    ("R8", "metric hygiene: literal prom-grammar metric names; no registration in loop bodies"),
     ("W0", "waivers: every `suplint: allow` must parse and carry a non-empty justification"),
 ];
 
@@ -135,7 +168,8 @@ pub struct Finding {
     pub waived: bool,
 }
 
-fn in_zone(mods: &[String], zones: &[&str]) -> bool {
+/// Does a module path fall under any of the zone prefixes?
+pub fn in_zone(mods: &[String], zones: &[&str]) -> bool {
     zones.iter().any(|z| {
         let parts: Vec<&str> = z.split("::").collect();
         parts.len() <= mods.len() && parts.iter().zip(mods.iter()).all(|(a, b)| a == b)
@@ -240,19 +274,40 @@ fn collect_waivers(
 struct Scope {
     test: bool,
     pushed_mod: bool,
+    in_loop: bool,
+}
+
+/// Everything the engine extracts from one file in a single pass:
+/// token-rule findings, the justified-waiver line map (consumed by the
+/// interprocedural rules), and the item tree (consumed by the call
+/// graph).
+#[derive(Debug)]
+pub struct FileAnalysis {
+    pub findings: Vec<Finding>,
+    /// line → rules a justified waiver covers on that line.
+    pub waived_lines: BTreeMap<u32, Vec<String>>,
+    pub items: crate::syntax::FileItems,
 }
 
 /// Lint one file's source. Returns all findings, waived ones flagged.
 pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
+    analyze_file(file, src).findings
+}
+
+/// Full single-pass analysis of one file: token rules + waivers + item
+/// tree for the workspace call graph.
+pub fn analyze_file(file: &SourceFile, src: &[u8]) -> FileAnalysis {
     let toks = lex(src);
     let (waivers, bad_waivers) = collect_waivers(&toks);
     let sig: Vec<Token<'_>> = toks.iter().copied().filter(|t| !t.is_comment()).collect();
+    let items = crate::syntax::parse(&sig);
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut scopes: Vec<Scope> = Vec::new();
     let mut mods: Vec<String> = file.modpath.clone();
     let mut pending_test = false;
     let mut pending_mod: Option<String> = None;
+    let mut pending_loop = false;
     let mut bracket_depth = 0i64;
 
     let mut i = 0usize;
@@ -291,12 +346,22 @@ pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
 
         let in_test = file.test_context || scopes.iter().any(|s| s.test);
 
+        let in_loop = scopes.last().is_some_and(|s| s.in_loop);
+
         if is_ident(&t, b"mod") {
             if let Some(n) = sig.get(i + 1) {
                 if n.kind == TokKind::Ident {
                     pending_mod = Some(lossy(n.text));
                 }
             }
+        } else if is_ident(&t, b"loop") || is_ident(&t, b"while") {
+            pending_loop = true;
+        } else if is_ident(&t, b"for")
+            && !sig.get(i + 1).is_some_and(|n| is_punct(n, b"<"))
+            && !prev_tok(&sig, i).is_some_and(|p| p.kind == TokKind::Ident || is_punct(p, b">"))
+        {
+            // `for x in …` but not `impl X for Y` or `for<'a>`.
+            pending_loop = true;
         } else if is_punct(&t, b"{") {
             let pushed = match pending_mod.take() {
                 Some(m) => {
@@ -305,8 +370,13 @@ pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
                 }
                 None => false,
             };
-            scopes.push(Scope { test: pending_test || in_test, pushed_mod: pushed });
+            scopes.push(Scope {
+                test: pending_test || in_test,
+                pushed_mod: pushed,
+                in_loop: pending_loop || in_loop,
+            });
             pending_test = false;
+            pending_loop = false;
         } else if is_punct(&t, b"}") {
             if let Some(s) = scopes.pop() {
                 if s.pushed_mod {
@@ -322,10 +392,11 @@ pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
             // for it, not for what follows.
             pending_test = false;
             pending_mod = None;
+            pending_loop = false;
         }
 
         if !in_test {
-            check_rules(&sig, i, &mods, &file.path, &mut findings);
+            check_rules(&sig, i, &mods, &file.path, in_loop, &mut findings);
         }
         i += 1;
     }
@@ -348,7 +419,15 @@ pub fn lint_file(file: &SourceFile, src: &[u8]) -> Vec<Finding> {
         });
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+    let waived_lines: BTreeMap<u32, Vec<String>> = waivers
+        .into_iter()
+        .map(|(line, lists)| (line, lists.into_iter().flatten().collect()))
+        .collect();
+    FileAnalysis { findings, waived_lines, items }
+}
+
+fn prev_tok<'a, 'b>(sig: &'a [Token<'b>], i: usize) -> Option<&'a Token<'b>> {
+    i.checked_sub(1).and_then(|p| sig.get(p))
 }
 
 fn check_rules(
@@ -356,6 +435,7 @@ fn check_rules(
     i: usize,
     mods: &[String],
     path: &str,
+    in_loop: bool,
     out: &mut Vec<Finding>,
 ) {
     let t = sig[i];
@@ -400,6 +480,66 @@ fn check_rules(
         push(out, "R3", format!("bare `{}` in the codec — use wrapping_*/checked_* (integer-literal operands are exempt)", lossy(t.text)));
     }
 
+    // R7: allocation discipline in the query/codec/wire hot paths.
+    // Allocations that only feed error construction are exempt: a
+    // failure path is cold by definition, and corruption messages are
+    // where the detail belongs.
+    if in_zone(mods, R7_ZONES) && !in_error_context(sig, i) {
+        if t.kind == TokKind::Ident
+            && (t.text == b"to_vec" || t.text == b"clone")
+            && prev.is_some_and(|p| is_punct(p, b"."))
+            && next.is_some_and(|n| is_punct(n, b"("))
+        {
+            push(out, "R7", format!(".{}() in a hot path — borrow, reuse a buffer, or waive with the reason the copy is unavoidable", lossy(t.text)));
+        }
+        if is_ident(&t, b"format") && next.is_some_and(|n| is_punct(n, b"!")) {
+            push(out, "R7", "format! in a hot path — preallocate or push_str, or waive with a reason".to_string());
+        }
+        if is_ident(&t, b"String")
+            && next.is_some_and(|n| is_punct(n, b"::"))
+            && sig.get(i + 2).is_some_and(|n| is_ident(n, b"from"))
+            && sig.get(i + 3).is_some_and(|n| is_punct(n, b"("))
+        {
+            push(out, "R7", "String::from in a hot path — borrow &str or waive with a reason".to_string());
+        }
+    }
+
+    // R8: metric hygiene everywhere outside the obs crate itself.
+    if mods.first().map(String::as_str) != Some("obs")
+        && t.kind == TokKind::Ident
+        && matches!(t.text, b"counter" | b"gauge" | b"histogram")
+        && prev.is_some_and(|p| is_punct(p, b"."))
+        && next.is_some_and(|n| is_punct(n, b"("))
+    {
+        let what = lossy(t.text);
+        match sig.get(i + 2) {
+            Some(arg) if arg.kind == TokKind::Str => {
+                match str_literal_value(arg.text) {
+                    Some(name) if metric_name_ok(&name) => {}
+                    Some(name) => push(
+                        out,
+                        "R8",
+                        format!("metric name {name:?} violates the `name{{k=\"v\",…}}` grammar"),
+                    ),
+                    None => push(out, "R8", format!("unparseable metric-name literal passed to .{what}()")),
+                }
+            }
+            Some(arg) if is_ident(arg, b"concat") && sig.get(i + 3).is_some_and(|n| is_punct(n, b"!")) => {
+                // concat!("a", "b") is static — grammar checked at the
+                // rendered name by obs's own tests.
+            }
+            Some(_) => push(
+                out,
+                "R8",
+                format!("non-literal metric name passed to .{what}() — names must be string literals or concat!-static"),
+            ),
+            None => {}
+        }
+        if in_loop {
+            push(out, "R8", format!(".{what}() inside a loop body — register once outside the loop and reuse the handle"));
+        }
+    }
+
     // R4: lock hygiene, everywhere.
     if is_ident(&t, b"lock")
         && prev.is_some_and(|p| is_punct(p, b"."))
@@ -434,6 +574,156 @@ fn check_rules(
             j += 1;
         }
     }
+}
+
+/// Error-construction markers for the R7 exemption: an allocation whose
+/// enclosing expression is building an error value runs only on the
+/// failure path.
+const ERROR_CTX: &[&[u8]] =
+    &[b"Err", b"map_err", b"ok_or", b"ok_or_else", b"or_else", b"expect_err"];
+
+/// Is the token at `i` inside error construction? Scans backward within
+/// the current statement (stopping at `;`/`{`/`}` and at `?` — after a
+/// `?` the expression is back on the success path) for an
+/// error-adapter/constructor ident, including anything named `*error*`
+/// or `*corrupt*`.
+fn in_error_context(sig: &[Token<'_>], i: usize) -> bool {
+    let mut j = i;
+    let mut steps = 0usize;
+    while j > 0 && steps < 64 {
+        j -= 1;
+        steps += 1;
+        let t = &sig[j];
+        if t.kind == TokKind::Punct && t.text == b"{" {
+            // A `{` opened by a closure (`|| {` / `|e| {`) is still the
+            // same expression — keep scanning into the caller, e.g.
+            // `.map_err(|e| { bad(format!(..)) })`.
+            let closure = j
+                .checked_sub(1)
+                .map(|p| &sig[p])
+                .is_some_and(|p| p.kind == TokKind::Punct && matches!(p.text, b"|" | b"||"));
+            if !closure {
+                return false;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Punct
+            && matches!(t.text, b";" | b"}" | b"?")
+        {
+            return false;
+        }
+        if t.kind == TokKind::Ident {
+            if ERROR_CTX.contains(&t.text) {
+                return true;
+            }
+            let lower = t.text.to_ascii_lowercase();
+            if lower.windows(5).any(|w| w == b"error")
+                || lower.windows(7).any(|w| w == b"corrupt")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Decode a Rust string-literal token (`"…"`, `r"…"`, `r#"…"#`) to its
+/// value. Returns `None` for literals the linter cannot decode (exotic
+/// escapes) — those get flagged rather than guessed at.
+fn str_literal_value(text: &[u8]) -> Option<String> {
+    if text.first() == Some(&b'r') {
+        let mut j = 1;
+        let mut hashes = 0usize;
+        while text.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if text.get(j) != Some(&b'"') {
+            return None;
+        }
+        let start = j + 1;
+        let end = text.len().checked_sub(1 + hashes)?;
+        if end < start {
+            return None;
+        }
+        return Some(lossy(&text[start..end]));
+    }
+    if text.len() < 2 || text[0] != b'"' || text[text.len() - 1] != b'"' {
+        return None;
+    }
+    let inner = &text[1..text.len() - 1];
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < inner.len() {
+        if inner[i] == b'\\' {
+            let c = *inner.get(i + 1)?;
+            out.push(match c {
+                b'"' => b'"',
+                b'\\' => b'\\',
+                b'n' => b'\n',
+                b't' => b'\t',
+                b'r' => b'\r',
+                b'0' => 0,
+                _ => return None,
+            });
+            i += 2;
+        } else {
+            out.push(inner[i]);
+            i += 1;
+        }
+    }
+    Some(lossy(&out))
+}
+
+/// Prometheus-style metric-name grammar: `base` or `base{k="v",k2="v2"}`
+/// where `base` is `[a-zA-Z_:][a-zA-Z0-9_:]*` and keys are
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn metric_name_ok(s: &str) -> bool {
+    let b = s.as_bytes();
+    let base_char = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b':';
+    let mut i = 0usize;
+    while i < b.len() && base_char(b[i]) {
+        i += 1;
+    }
+    if i == 0 || b[0].is_ascii_digit() {
+        return false;
+    }
+    if i == b.len() {
+        return true;
+    }
+    if b[i] != b'{' {
+        return false;
+    }
+    i += 1;
+    loop {
+        let ks = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if i == ks || b[ks].is_ascii_digit() {
+            return false;
+        }
+        if b.get(i) != Some(&b'=') || b.get(i + 1) != Some(&b'"') {
+            return false;
+        }
+        i += 2;
+        while i < b.len() && b[i] != b'"' {
+            if b[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        if i >= b.len() {
+            return false;
+        }
+        i += 1;
+        if b.get(i) == Some(&b',') {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    b.get(i) == Some(&b'}') && i + 1 == b.len()
 }
 
 /// Could the previous token end an expression? If not, the operator is
@@ -536,6 +826,78 @@ mod tests {
         assert_eq!(rules_of(&run(&["core", "pipeline"], chain)), vec!["R4", "R4"]);
         let ok = "fn f() { let g = rx.lock(); }";
         assert!(rules_of(&run(&["core", "pipeline"], ok)).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_allocations_in_hot_zones_only() {
+        let src = "fn f(v: &[u8]) -> Vec<u8> { v.to_vec() }";
+        assert_eq!(rules_of(&run(&["tsdb", "codec"], src)), vec!["R7"]);
+        assert_eq!(rules_of(&run(&["relay", "wire"], src)), vec!["R7"]);
+        assert!(rules_of(&run(&["relay", "spool"], src)).is_empty());
+        let clones = "fn f(s: &S) -> S { s.clone() }\nfn g(n: u32) -> String { format!(\"{n}\") }\nfn h(s: &str) -> String { String::from(s) }";
+        assert_eq!(rules_of(&run(&["tsdb", "db"], clones)), vec!["R7", "R7", "R7"]);
+        let waived = "fn f(v: &[u8]) -> Vec<u8> { v.to_vec() } // suplint: allow(R7) -- cold error path";
+        assert!(rules_of(&run(&["tsdb", "db"], waived)).is_empty());
+        // `Clone` derive and trait impls don't trip the rule.
+        let derive = "#[derive(Clone)]\nstruct S;\nimpl Clone for T { fn clone(&self) -> T { T } }";
+        assert!(rules_of(&run(&["tsdb", "db"], derive)).is_empty());
+    }
+
+    #[test]
+    fn r7_exempts_error_construction() {
+        for cold in [
+            "fn f(p: &P) -> Result<(), E> { Err(corrupt(format!(\"{}: bad magic\", p.display()))) }",
+            "fn f(x: Option<u8>) -> Result<u8, E> { x.ok_or_else(|| E::new(format!(\"missing\"))) }",
+            "fn f() -> E { TsdbError::Corrupt(format!(\"boom\")) }",
+            "fn f() { let bad = |w: &str| corrupt(format!(\"ctx: {w}\")); }",
+        ] {
+            assert!(rules_of(&run(&["tsdb", "segment"], cold)).is_empty(), "{cold}");
+        }
+        // `?` puts the expression back on the success path: the clone
+        // after it is hot even though an error adapter came before.
+        let hot = "fn f(h: &M) -> Result<String, E> { Ok(h.get(0).ok_or_else(|| bad(\"x\"))?.clone()) }";
+        assert_eq!(rules_of(&run(&["tsdb", "segment"], hot)), vec!["R7"]);
+    }
+
+    #[test]
+    fn r8_checks_metric_name_literals_and_grammar() {
+        let ok = "fn f(o: &Obs) { o.counter(\"relay_frames_total\").inc(); }";
+        assert!(rules_of(&run(&["relay", "agent"], ok)).is_empty());
+        let labeled = "fn f(o: &Obs) { o.counter(\"serve_requests_total{endpoint=\\\"v1_series\\\"}\").inc(); }";
+        assert!(rules_of(&run(&["xdmod", "serve"], labeled)).is_empty(), "{:?}", run(&["xdmod", "serve"], labeled));
+        let concat = "fn f(o: &Obs) { o.gauge(concat!(\"tsdb_\", \"memtable_bytes\")).set(1); }";
+        assert!(rules_of(&run(&["tsdb", "wal"], concat)).is_empty());
+        let dynamic = "fn f(o: &Obs, name: &str) { o.counter(name).inc(); }";
+        assert_eq!(rules_of(&run(&["relay", "agent"], dynamic)), vec!["R8"]);
+        let bad_grammar = "fn f(o: &Obs) { o.counter(\"9bad name\").inc(); }";
+        assert_eq!(rules_of(&run(&["relay", "agent"], bad_grammar)), vec!["R8"]);
+        let bad_labels = "fn f(o: &Obs) { o.counter(\"x{k=unquoted}\").inc(); }";
+        assert_eq!(rules_of(&run(&["relay", "agent"], bad_labels)), vec!["R8"]);
+        // Inside the obs crate the registry implements these methods.
+        assert!(rules_of(&run(&["obs"], dynamic)).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_registration_in_loop_bodies() {
+        let looped = "fn f(o: &Obs, xs: &[u8]) { for x in xs { o.counter(\"a_total\").inc(); } }";
+        assert_eq!(rules_of(&run(&["relay", "agent"], looped)), vec!["R8"]);
+        let whiled = "fn f(o: &Obs) { while go() { o.gauge(\"d\").set(0); } }";
+        assert_eq!(rules_of(&run(&["relay", "agent"], whiled)), vec!["R8"]);
+        let hoisted = "fn f(o: &Obs, xs: &[u8]) { let c = o.counter(\"a_total\"); for x in xs { c.inc(); } }";
+        assert!(rules_of(&run(&["relay", "agent"], hoisted)).is_empty());
+        // `impl X for Y` and `for<'a>` are not loops.
+        let impls = "impl Frob for S { fn g(&self, o: &Obs) { o.counter(\"a_total\").inc(); } }";
+        assert!(rules_of(&run(&["relay", "agent"], impls)).is_empty());
+    }
+
+    #[test]
+    fn metric_grammar() {
+        for good in ["a", "a_b:c", "x_total{k=\"v\"}", "x{a=\"1\",b_2=\"two words\"}"] {
+            assert!(metric_name_ok(good), "{good}");
+        }
+        for bad in ["", "9x", "x{", "x{}", "x{k}", "x{k=v}", "x{k=\"v\"", "x{k=\"v\"}y", "x y"] {
+            assert!(!metric_name_ok(bad), "{bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Regression guard: the committed tree must lint clean. `suplint
+//! --workspace` exits 0 with the baseline **empty** — every historical
+//! finding has been fixed or carries an inline waiver with a reason, and
+//! any new finding fails this test before it fails CI.
+
+use std::path::Path;
+
+use suplint::baseline::Baseline;
+use suplint::{assess, lint_workspace};
+
+#[test]
+fn workspace_lints_clean_with_an_empty_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = lint_workspace(&root).expect("workspace sources readable");
+    assert!(run.files_scanned > 50, "workspace walk looks truncated: {}", run.files_scanned);
+
+    let baseline = Baseline::load(&root.join("suplint/baseline.toml")).unwrap_or_default();
+    assert!(
+        baseline.is_empty(),
+        "the ratchet is done — the baseline must stay empty; waive regressions inline instead"
+    );
+
+    let a = assess(&run, &baseline);
+    assert!(
+        a.new.is_empty(),
+        "new lint findings on the committed tree:\n{}",
+        a.new
+            .iter()
+            .map(|f| format!("  {}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

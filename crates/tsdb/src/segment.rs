@@ -399,7 +399,8 @@ fn read_string_table(
         let end = pos.checked_add(len).ok_or_else(|| bad("name overflow"))?;
         let bytes = index.get(*pos..end).ok_or_else(|| bad("name bytes"))?;
         *pos = end;
-        table.push(String::from_utf8(bytes.to_vec()).map_err(|_| bad("name not utf-8"))?);
+        // Validate before allocating: no copy is made for invalid input.
+        table.push(std::str::from_utf8(bytes).map_err(|_| bad("name not utf-8"))?.to_owned());
     }
     Ok(table)
 }
@@ -513,11 +514,11 @@ impl SegmentReader {
             let host = hosts
                 .get(host_id)
                 .ok_or_else(|| bad(format!("series[{s}] host id out of range")))?
-                .clone();
+                .clone(); // suplint: allow(R7) -- one owned name per series at segment open
             let metric = metrics
                 .get(metric_id)
                 .ok_or_else(|| bad(format!("series[{s}] metric id out of range")))?
-                .clone();
+                .clone(); // suplint: allow(R7) -- one owned name per series at segment open
             if n_refs > index.len() {
                 return Err(bad(format!("series[{s}] chunk count out of range")));
             }
@@ -677,7 +678,7 @@ impl SegmentReader {
                 let bytes = payload.get(*pos..end).ok_or_else(|| bad("name bytes"))?;
                 *pos = end;
                 table.push(
-                    String::from_utf8(bytes.to_vec()).map_err(|_| bad("name not utf-8"))?,
+                    std::str::from_utf8(bytes).map_err(|_| bad("name not utf-8"))?.to_owned(),
                 );
             }
             Ok(table)
@@ -706,8 +707,10 @@ impl SegmentReader {
                 return Err(bad("chunk length mismatch"));
             }
             pos = end;
+            // suplint: allow(R7) -- one owned name per series in the v1 read shim
             let host = hosts.get(host_id).ok_or_else(|| bad("host id out of range"))?.clone();
             let metric =
+                // suplint: allow(R7) -- as above: once per series, open-time only
                 metrics.get(metric_id).ok_or_else(|| bad("metric id out of range"))?.clone();
             out.push(SeriesChunk { host, metric, samples });
         }

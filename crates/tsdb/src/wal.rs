@@ -44,21 +44,23 @@ pub struct WalRecord {
     pub samples: Vec<(u64, u64)>,
 }
 
-impl WalRecord {
-    fn encode(&self) -> Vec<u8> {
-        let mut p = Vec::with_capacity(self.host.len() + self.metric.len() + self.samples.len() * 6);
-        put_varint(&mut p, self.host.len() as u64);
-        p.extend_from_slice(self.host.as_bytes());
-        put_varint(&mut p, self.metric.len() as u64);
-        p.extend_from_slice(self.metric.as_bytes());
-        put_varint(&mut p, self.samples.len() as u64);
-        for &(ts, bits) in &self.samples {
-            put_varint(&mut p, ts);
-            put_varint(&mut p, bits);
-        }
-        p
+/// Encode one record from borrowed parts — the append path never has
+/// to assemble an owned [`WalRecord`] just to serialize it.
+fn encode_parts(host: &str, metric: &str, samples: &[(u64, u64)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(host.len() + metric.len() + samples.len() * 6);
+    put_varint(&mut p, host.len() as u64);
+    p.extend_from_slice(host.as_bytes());
+    put_varint(&mut p, metric.len() as u64);
+    p.extend_from_slice(metric.as_bytes());
+    put_varint(&mut p, samples.len() as u64);
+    for &(ts, bits) in samples {
+        put_varint(&mut p, ts);
+        put_varint(&mut p, bits);
     }
+    p
+}
 
+impl WalRecord {
     fn decode(payload: &[u8]) -> Option<WalRecord> {
         let mut pos = 0usize;
         let read_str = |pos: &mut usize| -> Option<String> {
@@ -188,7 +190,18 @@ impl Wal {
 
     /// Buffer one record. NOT durable until [`Wal::sync`] returns.
     pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
-        let payload = rec.encode();
+        self.append_parts(&rec.host, &rec.metric, &rec.samples)
+    }
+
+    /// Buffer one record from borrowed parts — the hot append path,
+    /// copy-free until serialization.
+    pub fn append_parts(
+        &mut self,
+        host: &str,
+        metric: &str,
+        samples: &[(u64, u64)],
+    ) -> io::Result<()> {
+        let payload = encode_parts(host, metric, samples);
         self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;

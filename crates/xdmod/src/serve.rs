@@ -501,13 +501,40 @@ struct ServeMetrics {
 impl ServeMetrics {
     fn new(opts: &ServeOptions) -> ServeMetrics {
         let obs = opts.obs.clone();
-        let endpoints = ENDPOINTS
-            .iter()
-            .map(|ep| EndpointMetrics {
-                requests: obs.counter(&format!("serve_requests_total{{endpoint=\"{ep}\"}}")),
-                latency: obs.histogram(&format!("serve_request_micros{{endpoint=\"{ep}\"}}")),
-            })
-            .collect();
+        // One entry per ENDPOINTS slot, in `endpoint_index` order. Names
+        // are spelled out as literals so the lint can hold them to the
+        // metric grammar and `grep` finds every registration.
+        let endpoints = vec![
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"healthz\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"healthz\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"v1_summary\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"v1_summary\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"v1_query\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"v1_query\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"v1_series\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"v1_series\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"v1_metrics\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"v1_metrics\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"v1_write\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"v1_write\"}"),
+            },
+            EndpointMetrics {
+                requests: obs.counter("serve_requests_total{endpoint=\"other\"}"),
+                latency: obs.histogram("serve_request_micros{endpoint=\"other\"}"),
+            },
+        ];
+        debug_assert_eq!(endpoints.len(), ENDPOINTS.len());
         ServeMetrics {
             slow_query_micros: opts.slow_query_micros,
             endpoints,
