@@ -31,7 +31,8 @@ fn build_store(dir: &Path) -> Tsdb {
     let _ = std::fs::remove_dir_all(dir);
     std::fs::create_dir_all(dir).unwrap();
     let mut db =
-        Tsdb::open_with(dir, DbOptions { chunk_samples: 128, block_chunks: 64 }).unwrap();
+        Tsdb::open_with(dir, DbOptions { chunk_samples: 128, block_chunks: 64, ..Default::default() })
+            .unwrap();
     for h in 0..HOSTS {
         let host = format!("c{h:03}");
         for (m, metric) in METRICS.iter().enumerate() {

@@ -19,7 +19,10 @@
 //! cache) so runs can be compared across revisions,
 //! `BENCH_ingest.json` with the live remote-write numbers (relay
 //! batches/s, wire MB/s, and the `/v1/write` apply-latency mean and
-//! p99 taken from the `relay_server_write_micros` histogram), and
+//! p99 taken from the `relay_server_write_micros` histogram),
+//! `BENCH_retention.json` with the retention-pass numbers (rollup +
+//! expiry wall time, bytes reclaimed, rolled-history downsample speedup
+//! and the tier-exactness probes), and
 //! `BENCH_metrics.json` with the run's live `/v1/metrics` telemetry
 //! snapshot (the self-observability counters and latency histograms the
 //! pipeline, storage engine and query path recorded while producing the
@@ -338,7 +341,8 @@ fn write_query_bench(root: &std::path::Path) -> std::io::Result<()> {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir)?;
     let mut db =
-        Tsdb::open_with(&dir, DbOptions { chunk_samples: 128, block_chunks: 64 }).map_err(io_err)?;
+        Tsdb::open_with(&dir, DbOptions { chunk_samples: 128, block_chunks: 64, ..Default::default() })
+            .map_err(io_err)?;
     for h in 0..HOSTS {
         let host = format!("c{h:03}");
         for (m, metric) in METRICS.iter().enumerate() {
@@ -496,6 +500,144 @@ fn write_query_bench(root: &std::path::Path) -> std::io::Result<()> {
     );
     s.push_str("}\n");
     std::fs::write("BENCH_query.json", s)
+}
+
+/// Retention benchmark: a fortnight store under `raw=2d,1h=7d,1d=inf`,
+/// timing the rollup+expiry pass itself, the storage reclaimed, and
+/// rolled-history downsamples before vs after the pass. Two exactness
+/// probes compare tier-served answers bitwise against pre-retention
+/// captures on the windows each tier serves at its own bin width.
+fn write_retention_bench(root: &std::path::Path) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    use std::hint::black_box;
+    use supremm_warehouse::tsdb::{Agg, DbOptions, RetentionPolicy, Selector, Tsdb};
+
+    const HOSTS: usize = 64;
+    const METRICS: [&str; 8] = [
+        "cpu_user", "cpu_system", "cpu_idle", "mem_used", "net_rx", "net_tx", "ib_rx", "flops",
+    ];
+    const SAMPLES_PER_SERIES: u64 = 2016; // 14 days at 600 s cadence
+    const STEP_SECS: u64 = 600;
+    const DAY: u64 = 86_400;
+    const POLICY: &str = "raw=2d,1h=7d,1d=inf";
+
+    let io_err = |e: supremm_warehouse::tsdb::TsdbError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    };
+    let policy = RetentionPolicy::parse(POLICY)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let dir = root.join("retentionbench");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let mut db = Tsdb::open_with(
+        &dir,
+        DbOptions { chunk_samples: 128, block_chunks: 64, retention: policy },
+    )
+    .map_err(io_err)?;
+    // Ingest in time order, sealing one segment per day, the way a live
+    // collector fleet lands data — retention drops whole segments only,
+    // so segments must not straddle the entire history.
+    let samples_per_day = DAY / STEP_SECS;
+    for day in 0..SAMPLES_PER_SERIES / samples_per_day {
+        for h in 0..HOSTS {
+            let host = format!("c{h:03}");
+            for (m, metric) in METRICS.iter().enumerate() {
+                let base = (h * 31 + m * 7) as f64;
+                let samples: Vec<(u64, f64)> = (day * samples_per_day
+                    ..(day + 1) * samples_per_day)
+                    .map(|i| (i * STEP_SECS, base + (i as f64 * 0.01).sin()))
+                    .collect();
+                db.append_batch(&host, metric, &samples)?;
+            }
+        }
+        db.flush().map_err(io_err)?;
+    }
+    let total_samples = HOSTS as u64 * METRICS.len() as u64 * SAMPLES_PER_SERIES;
+    let now = db.max_timestamp().unwrap_or(0); // data time, 14 days in
+    let all = Selector::all();
+
+    // Pre-retention baselines on the windows each tier will serve:
+    // the 1 h tier gets [12d-7d, 12d) = [7d, 12d), the 1 d tier [0, 7d).
+    let raw_cut = now.saturating_sub(2 * DAY) / DAY * DAY;
+    let hour_cut = now.saturating_sub(7 * DAY) / DAY * DAY;
+    let pre_hour =
+        db.downsample(&all, hour_cut, raw_cut - 1, 3_600, Agg::Mean).map_err(io_err)?;
+    let pre_day = db.downsample(&all, 0, hour_cut - 1, DAY, Agg::Mean).map_err(io_err)?;
+    let rolled_pre_secs = secs_per_iter(|| {
+        if let Ok(r) = db.downsample(&all, 0, raw_cut - 1, 3_600, Agg::Max) {
+            black_box(r.len());
+        }
+    });
+    let bytes_before = db.stats().segment_bytes;
+
+    let t0 = std::time::Instant::now();
+    let report = db.enforce_retention(now).map_err(io_err)?;
+    let pass_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let noop = db.enforce_retention(now).map_err(io_err)?;
+    let noop_secs = t1.elapsed().as_secs_f64();
+    let bytes_after = db.stats().segment_bytes;
+
+    let post_hour =
+        db.downsample(&all, hour_cut, raw_cut - 1, 3_600, Agg::Mean).map_err(io_err)?;
+    let post_day = db.downsample(&all, 0, hour_cut - 1, DAY, Agg::Mean).map_err(io_err)?;
+    let bits = |series: &[(supremm_warehouse::tsdb::SeriesKey, Vec<(u64, f64)>)]| -> Vec<u64> {
+        series.iter().flat_map(|(_, pts)| pts.iter().map(|&(_, v)| v.to_bits())).collect()
+    };
+    let exact = bits(&pre_hour) == bits(&post_hour) && bits(&pre_day) == bits(&post_day);
+    let rolled_post_secs = secs_per_iter(|| {
+        if let Ok(r) = db.downsample(&all, 0, raw_cut - 1, 3_600, Agg::Max) {
+            black_box(r.len());
+        }
+    });
+
+    eprintln!(
+        "[repro] retention: pass {pass_secs:.3}s, {} -> {} bytes ({:.1}% kept), \
+         rolled downsample {:.1}x, exact={exact}",
+        bytes_before,
+        bytes_after,
+        100.0 * bytes_after as f64 / bytes_before.max(1) as f64,
+        rolled_pre_secs / rolled_post_secs.max(1e-12),
+    );
+
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"store\": {{\"hosts\": {HOSTS}, \"metrics\": {}, \
+         \"samples_per_series\": {SAMPLES_PER_SERIES}, \"total_samples\": {total_samples}}},",
+        METRICS.len()
+    );
+    let _ = writeln!(s, "  \"policy\": \"{POLICY}\",");
+    let _ = writeln!(
+        s,
+        "  \"pass\": {{\"duration_secs\": {pass_secs:.9}, \"noop_secs\": {noop_secs:.9}, \
+         \"rollup_segments_written\": {}, \"rollup_bins_written\": {}, \
+         \"raw_segments_dropped\": {}, \"rollup_segments_dropped\": {}, \
+         \"raw_watermark\": {}}},",
+        report.rollup_segments_written,
+        report.rollup_bins_written,
+        report.raw_segments_dropped,
+        report.rollup_segments_dropped,
+        report.raw_watermark
+    );
+    let _ = writeln!(
+        s,
+        "  \"disk_bytes\": {{\"before\": {bytes_before}, \"after\": {bytes_after}, \
+         \"kept_frac\": {:.4}}},",
+        bytes_after as f64 / bytes_before.max(1) as f64
+    );
+    let _ = writeln!(
+        s,
+        "  \"rolled_downsample\": {{\"bin_secs\": 3600, \"agg\": \"max\", \
+         \"pre_retention_secs\": {rolled_pre_secs:.9}, \"tier_served_secs\": \
+         {rolled_post_secs:.9}, \"speedup\": {:.2}}},",
+        rolled_pre_secs / rolled_post_secs.max(1e-12)
+    );
+    let _ = writeln!(s, "  \"tier_answers_bit_identical\": {exact},");
+    let _ = writeln!(s, "  \"noop_pass_reports_zero\": {}", noop.rollup_segments_written == 0);
+    s.push_str("}\n");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::write("BENCH_retention.json", s)
 }
 
 /// Dump the process-global obs registry — populated by every pipeline,
@@ -724,6 +866,10 @@ fn main() {
         match write_ingest_bench(&bench_root) {
             Ok(()) => eprintln!("[repro] wrote BENCH_ingest.json"),
             Err(e) => eprintln!("[repro] could not write BENCH_ingest.json: {e}"),
+        }
+        match write_retention_bench(&bench_root) {
+            Ok(()) => eprintln!("[repro] wrote BENCH_retention.json"),
+            Err(e) => eprintln!("[repro] could not write BENCH_retention.json: {e}"),
         }
         match write_metrics_snapshot() {
             Ok(()) => eprintln!("[repro] wrote BENCH_metrics.json"),

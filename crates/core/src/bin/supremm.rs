@@ -18,13 +18,16 @@
 //!     the ANCOR-style failure diagnosis over the job table + syslog.jsonl
 //!
 //! supremm serve --data data/ --addr 127.0.0.1:8080 [--slow-query-ms N]
+//!               [--retention SPEC]
 //!     serve the JSON query API (GET /healthz, /v1/summary, /v1/query,
 //!     /v1/series from the time-series store when present, and
 //!     /v1/metrics with the process's own telemetry); requests slower
-//!     than the threshold land in the slow-query log
+//!     than the threshold land in the slow-query log. With --retention
+//!     (e.g. `raw=7d,3600=90d,86400=forever`) the store opens under
+//!     that policy and one rollup+expiry pass runs before serving.
 //!
 //! supremm ingestd --data data/ --addr 127.0.0.1:8080
-//!                 [--queue-cap N] [--max-batch-bytes N]
+//!                 [--queue-cap N] [--max-batch-bytes N] [--retention SPEC]
 //!     the query API plus the live remote-write path: POST /v1/write
 //!     accepts relay wire frames from collector agents, admission-
 //!     controlled (429 + Retry-After under pressure, 413 over the body
@@ -70,6 +73,42 @@ fn data_dir(args: &[String]) -> PathBuf {
     PathBuf::from(arg_value(args, "--data").unwrap_or_else(|| "data".to_string()))
 }
 
+/// Parse `--retention raw=7d,3600=90d,86400=forever` when present.
+fn retention_from_args(args: &[String]) -> Option<supremm_tsdb::RetentionPolicy> {
+    arg_value(args, "--retention").map(|spec| {
+        supremm_tsdb::RetentionPolicy::parse(&spec)
+            .unwrap_or_else(|e| die(&format!("--retention: {e}")))
+    })
+}
+
+/// Open a series store under the given policy and, when one was asked
+/// for, run a rollup+expiry pass immediately so a long-lived daemon
+/// starts from an already-enforced store.
+fn open_store_with_retention(
+    store_dir: &Path,
+    retention: Option<&supremm_tsdb::RetentionPolicy>,
+) -> supremm_tsdb::Tsdb {
+    let opts = supremm_tsdb::DbOptions {
+        retention: retention.cloned().unwrap_or_default(),
+        ..Default::default()
+    };
+    let mut db = supremm_tsdb::Tsdb::open_with(store_dir, opts)
+        .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}")));
+    if retention.is_some() {
+        let report = supremm_warehouse::tsdbio::enforce_store_retention(&mut db)
+            .unwrap_or_else(|e| die(&format!("retention pass: {e}")));
+        eprintln!(
+            "retention: wrote {} rollup segments ({} bins), dropped {} raw / {} rollup segments, raw watermark {}",
+            report.rollup_segments_written,
+            report.rollup_bins_written,
+            report.raw_segments_dropped,
+            report.rollup_segments_dropped,
+            report.raw_watermark
+        );
+    }
+    db
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -110,7 +149,11 @@ fn simulate(args: &[String]) {
 
     eprintln!("simulating {machine}: {nodes} nodes x {days} days ...");
     std::fs::create_dir_all(&out).unwrap_or_else(|e| die(&format!("mkdir {out:?}: {e}")));
-    let opts = PipelineOptions { store_dir: Some(out.join("store")), ..Default::default() };
+    let opts = PipelineOptions {
+        store_dir: Some(out.join("store")),
+        retention: retention_from_args(args),
+        ..Default::default()
+    };
     let ds = run_pipeline(cfg, &opts);
 
     ds.archive
@@ -269,11 +312,12 @@ fn serve_cmd(args: &[String]) {
     let table = load_jobs(&dir);
     // Attach the time-series store when the dump has one.
     let store_dir = dir.join("store").join("series");
+    let retention = retention_from_args(args);
     let store = if store_dir.is_dir() {
-        Some(std::sync::RwLock::new(
-            supremm_warehouse::tsdb::Tsdb::open(&store_dir)
-                .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}"))),
-        ))
+        Some(std::sync::RwLock::new(open_store_with_retention(
+            &store_dir,
+            retention.as_ref(),
+        )))
     } else {
         None
     };
@@ -309,8 +353,7 @@ fn ingestd_cmd(args: &[String]) {
     let store_dir = dir.join("store").join("series");
     std::fs::create_dir_all(&store_dir)
         .unwrap_or_else(|e| die(&format!("mkdir {store_dir:?}: {e}")));
-    let db = supremm_tsdb::Tsdb::open(&store_dir)
-        .unwrap_or_else(|e| die(&format!("{store_dir:?}: {e}")));
+    let db = open_store_with_retention(&store_dir, retention_from_args(args).as_ref());
     let store = std::sync::Arc::new(std::sync::RwLock::new(db));
     // The job table is optional for a pure ingest node.
     let table = if dir.join("jobs.tsdb").exists() || dir.join("jobs.jsonl").exists() {

@@ -77,6 +77,12 @@ pub struct PipelineOptions {
     /// counters, quarantine tallies, per-stage durations). `None` uses
     /// the process-wide [`supremm_obs::global`] registry.
     pub obs: Option<supremm_obs::ObsHandle>,
+    /// Retention policy applied to the series store when `store_dir` is
+    /// set: the store opens under this policy and one retention pass
+    /// (data-time `now`) runs after the series land, so the reloaded
+    /// dataset is exactly what a retention-managed deployment serves.
+    /// `None` keeps everything forever (the previous behaviour).
+    pub retention: Option<supremm_warehouse::tsdb::RetentionPolicy>,
 }
 
 impl Default for PipelineOptions {
@@ -90,6 +96,7 @@ impl Default for PipelineOptions {
             strict_ingest: false,
             store_dir: None,
             obs: None,
+            retention: None,
         }
     }
 }
@@ -352,14 +359,22 @@ fn store_and_reload(
     dir: &std::path::Path,
     table: JobTable,
     series: SystemSeries,
+    retention: Option<&supremm_warehouse::tsdb::RetentionPolicy>,
 ) -> (JobTable, SystemSeries) {
-    use supremm_warehouse::tsdb::Tsdb;
+    use supremm_warehouse::tsdb::{DbOptions, Tsdb};
     use supremm_warehouse::tsdbio;
 
     std::fs::create_dir_all(dir).expect("create store dir");
-    let mut db = Tsdb::open(&dir.join("series")).expect("open tsdb store");
+    let opts = DbOptions {
+        retention: retention.cloned().unwrap_or_default(),
+        ..Default::default()
+    };
+    let mut db = Tsdb::open_with(&dir.join("series"), opts).expect("open tsdb store");
     tsdbio::store_system_series(&mut db, &series).expect("append system series");
     db.flush().expect("flush tsdb store");
+    if retention.is_some() {
+        tsdbio::enforce_store_retention(&mut db).expect("retention pass");
+    }
     let series = tsdbio::load_system_series(&db).expect("reload system series");
     let jobs = dir.join("jobs.tsdb");
     table.save(&jobs).expect("save job table");
@@ -429,7 +444,7 @@ pub fn run_pipeline(cfg: ClusterConfig, opts: &PipelineOptions) -> MachineDatase
         None => (table, series),
         Some(dir) => {
             let t = supremm_obs::Timer::start();
-            let reloaded = store_and_reload(dir, table, series);
+            let reloaded = store_and_reload(dir, table, series, opts.retention.as_ref());
             met.stage_store.observe_timer(t);
             reloaded
         }

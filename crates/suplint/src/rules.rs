@@ -87,6 +87,7 @@ pub const R2_ZONES: &[&str] = &[
     "metrics::json",
     "tsdb::db",
     "tsdb::segment",
+    "tsdb::retention",
     "obs",
     "relay",
 ];
@@ -96,7 +97,8 @@ pub const R3_ZONES: &[&str] = &["tsdb::codec"];
 
 /// Allocation-budget zones: the tsdb query/codec hot path and the relay
 /// wire decoder. Every heap copy here must be argued for.
-pub const R7_ZONES: &[&str] = &["tsdb::codec", "tsdb::db", "tsdb::segment", "relay::wire"];
+pub const R7_ZONES: &[&str] =
+    &["tsdb::codec", "tsdb::db", "tsdb::segment", "tsdb::retention", "relay::wire"];
 
 /// Rules that may never be baselined: panic-freedom in the fallible
 /// zones is the point of the whole exercise — token-local (R1) or via

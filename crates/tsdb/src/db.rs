@@ -39,10 +39,14 @@ use std::path::{Path, PathBuf};
 
 use supremm_obs::{Counter, Gauge, Histogram, ObsHandle, Timer};
 
-use crate::segment::{
-    ChunkRef, SegmentReader, SegmentWriter, SeriesEntry, TsdbError, KIND_SERIES,
+use crate::retention::{
+    decode_rollup_block, encode_rollup_block, roll_file_name, roll_id, FaultHook,
+    RetentionManifest, RetentionPolicy, RetentionReport, RollupRows,
 };
-use crate::stats::BinAcc;
+use crate::segment::{
+    ChunkRef, SegmentReader, SegmentWriter, SeriesEntry, TsdbError, KIND_ROLLUP, KIND_SERIES,
+};
+use crate::stats::{BinAcc, ChunkStats};
 use crate::wal::Wal;
 
 /// Identity of one series: a (host, metric) pair.
@@ -126,11 +130,19 @@ pub struct DbOptions {
     pub chunk_samples: usize,
     /// Max chunks per segment block (one CRC + index entry per block).
     pub block_chunks: usize,
+    /// Retention & rollup tiers (see [`crate::retention`]); the default
+    /// keeps every raw sample forever, exactly the pre-retention
+    /// behavior.
+    pub retention: RetentionPolicy,
 }
 
 impl Default for DbOptions {
     fn default() -> DbOptions {
-        DbOptions { chunk_samples: 2048, block_chunks: 64 }
+        DbOptions {
+            chunk_samples: 2048,
+            block_chunks: 64,
+            retention: RetentionPolicy::default(),
+        }
     }
 }
 
@@ -149,6 +161,11 @@ pub struct DbStats {
     pub recovered_samples: u64,
     /// Torn-tail bytes discarded at open.
     pub recovered_truncated_bytes: u64,
+    /// Rollup-tier segments on disk, all levels combined.
+    pub rollup_segments: usize,
+    /// Raw samples below this data timestamp are logically dropped
+    /// (the retention watermark; 0 when retention never ran).
+    pub raw_watermark: u64,
 }
 
 /// The embedded time-series store. One instance owns one directory.
@@ -159,6 +176,15 @@ pub struct Tsdb {
     mem_samples: u64,
     segments: Vec<(u64, SegmentReader)>, // (seq, reader), ascending seq
     next_seq: u64,
+    /// Rollup tiers: bin_secs → (seq, reader), ascending seq. Later
+    /// seqs win per (series, bin), so crash-duplicated rollups are
+    /// harmless — mirroring the raw segments' last-write-wins rule.
+    rollups: BTreeMap<u64, Vec<(u64, SegmentReader)>>,
+    next_roll_seq: BTreeMap<u64, u64>,
+    /// Durable retention watermarks (see [`crate::retention`]).
+    manifest: RetentionManifest,
+    /// Crash-injection hook for `enforce_retention` (tests only).
+    fault_hook: Option<FaultHook>,
     opts: DbOptions,
     /// Bumped on every mutation; serve-layer caches key on this.
     generation: u64,
@@ -183,10 +209,21 @@ struct TsdbMetrics {
     query_index_segments_total: Counter,
     query_v1_fallback_total: Counter,
     v1_segments_open_total: Counter,
+    retention_pass_micros: Histogram,
+    rollup_segments_written_total: Counter,
+    rollup_bins_written_total: Counter,
+    retention_raw_dropped_total: Counter,
+    retention_rollup_dropped_total: Counter,
+    raw_watermark: Gauge,
+    rollup_segments: Gauge,
+    tier_hit_raw: Counter,
+    /// One hit counter per rollup level, keyed by bin_secs — built at
+    /// open from the policy plus the levels found on disk.
+    tier_hit_rollup: BTreeMap<u64, Counter>,
 }
 
 impl TsdbMetrics {
-    fn new(obs: ObsHandle) -> TsdbMetrics {
+    fn new(obs: ObsHandle, tier_bins: &[u64]) -> TsdbMetrics {
         TsdbMetrics {
             // suplint: allow(R7) -- one registry-handle clone per Tsdb open, not per query
             obs: obs.clone(),
@@ -202,6 +239,22 @@ impl TsdbMetrics {
             query_index_segments_total: obs.counter("tsdb_query_index_segments_total"),
             query_v1_fallback_total: obs.counter("tsdb_query_v1_fallback_total"),
             v1_segments_open_total: obs.counter("tsdb_deprecated_v1_segment_open_total"),
+            retention_pass_micros: obs.histogram("tsdb_retention_pass_micros"),
+            rollup_segments_written_total: obs.counter("tsdb_retention_rollup_segments_total"),
+            rollup_bins_written_total: obs.counter("tsdb_retention_rollup_bins_total"),
+            retention_raw_dropped_total: obs.counter("tsdb_retention_dropped_raw_segments_total"),
+            retention_rollup_dropped_total: obs
+                .counter("tsdb_retention_dropped_rollup_segments_total"),
+            raw_watermark: obs.gauge("tsdb_retention_raw_watermark"),
+            rollup_segments: obs.gauge("tsdb_rollup_segments"),
+            tier_hit_raw: obs.counter("tsdb_query_tier_hits_total{tier=\"raw\"}"),
+            tier_hit_rollup: tier_bins
+                .iter()
+                .map(|&b| {
+                    // suplint: allow(R7, R8) -- tier labels are data-driven (one per configured rollup level); registered once at open, never per query
+                    (b, obs.counter(&format!("tsdb_query_tier_hits_total{{tier=\"rollup_{b}\"}}")))
+                })
+                .collect(),
         }
     }
 }
@@ -365,23 +418,60 @@ impl Tsdb {
     /// process-wide [`supremm_obs::global`] one (test isolation, or one
     /// registry per serve instance).
     pub fn open_with_obs(dir: &Path, opts: DbOptions, obs: ObsHandle) -> Result<Tsdb, TsdbError> {
+        opts.retention.validate().map_err(TsdbError::Policy)?;
         fs::create_dir_all(dir)?;
+        let manifest = RetentionManifest::load(dir)?.unwrap_or_default();
         let mut segments = Vec::new();
+        let mut rollups: BTreeMap<u64, Vec<(u64, SegmentReader)>> = BTreeMap::new();
         for entry in fs::read_dir(dir)? {
             let path = entry?.path();
-            let Some(seq) = seg_seq(&path) else { continue };
-            let reader = SegmentReader::open(&path)?;
-            if reader.kind != KIND_SERIES {
-                return Err(TsdbError::Corrupt(format!(
-                    "{}: wrong segment kind {} in series store",
-                    path.display(),
-                    reader.kind
-                )));
+            if let Some(seq) = seg_seq(&path) {
+                let reader = SegmentReader::open(&path)?;
+                if reader.kind != KIND_SERIES {
+                    return Err(TsdbError::Corrupt(format!(
+                        "{}: wrong segment kind {} in series store",
+                        path.display(),
+                        reader.kind
+                    )));
+                }
+                // Wholly below the raw watermark: the manifest committed
+                // this drop but a crash landed before the delete —
+                // finish it now, so reopen is unambiguous.
+                if reader
+                    .time_range()
+                    .is_some_and(|(_, max)| max < manifest.raw_dropped_before)
+                {
+                    fs::remove_file(&path)?;
+                    continue;
+                }
+                segments.push((seq, reader));
+            } else if let Some((bin, seq)) = roll_id(&path) {
+                let reader = SegmentReader::open(&path)?;
+                if reader.kind != KIND_ROLLUP {
+                    return Err(TsdbError::Corrupt(format!(
+                        "{}: wrong segment kind {} for a rollup file",
+                        path.display(),
+                        reader.kind
+                    )));
+                }
+                // Same crashed-drop completion, per level.
+                if reader
+                    .time_range()
+                    .is_some_and(|(_, max)| max < manifest.level(bin).dropped_before)
+                {
+                    fs::remove_file(&path)?;
+                    continue;
+                }
+                rollups.entry(bin).or_default().push((seq, reader));
             }
-            segments.push((seq, reader));
         }
         segments.sort_by_key(|&(seq, _)| seq);
         let next_seq = segments.last().map(|&(seq, _)| seq + 1).unwrap_or(1);
+        let mut next_roll_seq: BTreeMap<u64, u64> = BTreeMap::new();
+        for (&bin, readers) in rollups.iter_mut() {
+            readers.sort_by_key(|&(seq, _)| seq);
+            next_roll_seq.insert(bin, readers.last().map(|&(s, _)| s + 1).unwrap_or(1));
+        }
 
         let recovery = Wal::open(&dir.join("wal.log")).map_err(TsdbError::Io)?;
         let mut mem: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
@@ -397,7 +487,13 @@ impl Tsdb {
             }
         }
 
-        let met = TsdbMetrics::new(obs);
+        let tier_bins: Vec<u64> = {
+            let mut bins: BTreeSet<u64> =
+                opts.retention.levels.iter().map(|l| l.bin_secs).collect();
+            bins.extend(rollups.keys().copied());
+            bins.into_iter().collect()
+        };
+        let met = TsdbMetrics::new(obs, &tier_bins);
         for (_, reader) in &segments {
             if reader.version() < 2 {
                 met.v1_segments_open_total.inc();
@@ -418,12 +514,17 @@ impl Tsdb {
             mem_samples,
             segments,
             next_seq,
+            rollups,
+            next_roll_seq,
+            manifest,
+            fault_hook: None,
             opts,
             generation: 0,
             recovered_samples,
             recovered_truncated_bytes: recovery.truncated_bytes,
             met,
         };
+        db.met.raw_watermark.set(as_i64(db.manifest.raw_dropped_before));
         db.update_storage_gauges();
         Ok(db)
     }
@@ -441,6 +542,8 @@ impl Tsdb {
             .sum();
         self.met.chunks.set(as_i64(chunks as u64));
         self.met.mem_samples.set(as_i64(self.mem_samples));
+        let rolls: usize = self.rollups.values().map(Vec::len).sum();
+        self.met.rollup_segments.set(as_i64(rolls as u64));
     }
 
     pub fn dir(&self) -> &Path {
@@ -531,6 +634,9 @@ impl Tsdb {
             return Ok(());
         }
         let t = Timer::start();
+        // Physical GC: compaction is where logically-dropped samples
+        // (below the retention watermark) actually leave the disk.
+        let watermark = self.manifest.raw_dropped_before;
         let mut merged: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
         for (_, reader) in &self.segments {
             for entry in &reader.entries {
@@ -539,10 +645,25 @@ impl Tsdb {
                     let series =
                         merged.entry(SeriesKey::new(chunk.host, chunk.metric)).or_default();
                     for (ts, bits) in chunk.samples {
-                        series.insert(ts, bits);
+                        if ts >= watermark {
+                            series.insert(ts, bits);
+                        }
                     }
                 }
             }
+        }
+        merged.retain(|_, series| !series.is_empty());
+        if merged.is_empty() {
+            let old: Vec<PathBuf> =
+                self.segments.iter().map(|(_, r)| r.path().to_path_buf()).collect();
+            self.segments.clear();
+            for p in old {
+                fs::remove_file(&p)?;
+            }
+            self.generation += 1;
+            self.met.compact_micros.observe_timer(t);
+            self.update_storage_gauges();
+            return Ok(());
         }
         let seq = self.next_seq;
         let reader = write_segment(&self.dir, seq, &merged, &self.opts)?;
@@ -579,6 +700,17 @@ impl Tsdb {
                             keys.insert(SeriesKey::new(chunk.host, chunk.metric));
                         }
                     }
+                }
+            }
+        }
+        // Series whose raw data has fully expired still exist in the
+        // rollup tiers — keep them discoverable.
+        for readers in self.rollups.values() {
+            for (_, reader) in readers {
+                for entry in &reader.entries {
+                    let payload = reader.read_block(entry)?;
+                    let (_, rows) = decode_rollup_block(&payload, reader.path())?;
+                    keys.extend(rows.into_keys());
                 }
             }
         }
@@ -674,6 +806,13 @@ impl Tsdb {
         t0: u64,
         t1: u64,
     ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        // Retention truncates the raw tier logically: samples below the
+        // watermark are gone even while their segment still spans it
+        // (files are only ever dropped whole; see `enforce_retention`).
+        let t0 = t0.max(self.manifest.raw_dropped_before);
+        if t0 > t1 {
+            return Ok(Vec::new());
+        }
         let mut acc: BTreeMap<SeriesKey, Vec<Vec<(u64, u64)>>> = BTreeMap::new();
         for (_, reader) in &self.segments {
             match reader.series_index() {
@@ -721,6 +860,12 @@ impl Tsdb {
         t0: u64,
         t1: u64,
     ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        // Same retention clamp as `query` — the oracle sees the same
+        // logically-surviving raw data as the fast path.
+        let t0 = t0.max(self.manifest.raw_dropped_before);
+        if t0 > t1 {
+            return Ok(Vec::new());
+        }
         let mut acc: BTreeMap<SeriesKey, BTreeMap<u64, u64>> = BTreeMap::new();
         for (_, reader) in &self.segments {
             for entry in &reader.entries {
@@ -795,44 +940,200 @@ impl Tsdb {
         bin_secs: u64,
         agg: Agg,
     ) -> Result<Vec<(SeriesKey, Vec<(u64, f64)>)>, TsdbError> {
+        Ok(self.downsample_tiered(sel, t0, t1, bin_secs, agg)?.0)
+    }
+
+    /// [`Tsdb::downsample`] plus the list of tiers that served the
+    /// answer: `"raw"` first, then `"rollup:<bin_secs>"` finest-first.
+    ///
+    /// Tier selection: the raw tier serves `[watermark, t1]`; below the
+    /// watermark each sub-range is served by the *finest* rollup level
+    /// still holding it (coarser levels cover only what finer levels
+    /// have already expired, so tiers nest without overlap — the
+    /// divisibility-chain alignment rule guarantees no rollup bin ever
+    /// straddles a boundary). Results are bit-identical to the naive
+    /// oracle wherever raw data survives; on rolled ranges min / max /
+    /// count / last stay exact and sum / mean are the deterministic
+    /// fold of exact per-bin sequential sums (exact too when the query
+    /// bin equals the level bin).
+    pub fn downsample_tiered(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        bin_secs: u64,
+        agg: Agg,
+    ) -> Result<(Vec<(SeriesKey, Vec<(u64, f64)>)>, Vec<String>), TsdbError> {
         let bin_secs = bin_secs.max(1);
-        if self.segments.iter().any(|(_, r)| r.series_index().is_none()) {
-            // Read-shim store: no pre-aggregates to fold.
-            return Ok(bin_series(self.query(sel, t0, t1)?, bin_secs, agg));
-        }
-        let mut keys: BTreeSet<SeriesKey> = BTreeSet::new();
-        for key in self.mem.keys() {
-            if sel.matches(key) {
-                // suplint: allow(R7) -- owned copy per matching series key, not per sample
-                keys.insert(key.clone());
-            }
-        }
-        for (_, reader) in &self.segments {
-            for entry in matching_entries(reader.series_index().unwrap_or(&[]), sel) {
-                keys.insert(SeriesKey::new(&*entry.host, &*entry.metric));
-            }
-        }
-        let mut out = Vec::with_capacity(keys.len());
-        for key in keys {
-            if let Some(binned) = self.downsample_one(&key, t0, t1, bin_secs, agg)? {
-                if !binned.is_empty() {
-                    out.push((key, binned));
+        let mut accs: BTreeMap<SeriesKey, BTreeMap<u64, BinAcc>> = BTreeMap::new();
+        // Rollup tiers fold first: they cover strictly older time than
+        // the raw tier, and accumulators must fill in ascending time
+        // order (`last` and the sequential-sum seed depend on it).
+        let rollup_tiers = self.fold_rollup_tiers(sel, t0, t1, bin_secs, &mut accs)?;
+        let raw_t0 = t0.max(self.manifest.raw_dropped_before);
+        let mut raw_hit = false;
+        if raw_t0 <= t1 {
+            if self.segments.iter().any(|(_, r)| r.series_index().is_none()) {
+                // Read-shim store: no pre-aggregates to fold — bin the
+                // merged scan into the (possibly seeded) accumulators.
+                for (key, samples) in self.query(sel, raw_t0, t1)? {
+                    let bins = accs.entry(key).or_default();
+                    for (ts, v) in samples {
+                        bins.entry(ts / bin_secs * bin_secs).or_default().add(v);
+                        raw_hit = true;
+                    }
+                }
+            } else {
+                let mut keys: BTreeSet<SeriesKey> = BTreeSet::new();
+                for key in self.mem.keys() {
+                    if sel.matches(key) {
+                        // suplint: allow(R7) -- owned copy per matching series key, not per sample
+                        keys.insert(key.clone());
+                    }
+                }
+                for (_, reader) in &self.segments {
+                    for entry in matching_entries(reader.series_index().unwrap_or(&[]), sel) {
+                        keys.insert(SeriesKey::new(&*entry.host, &*entry.metric));
+                    }
+                }
+                for key in keys {
+                    let mut bins = accs.remove(&key).unwrap_or_default();
+                    raw_hit |=
+                        self.downsample_one_into(&key, raw_t0, t1, bin_secs, agg, &mut bins)?;
+                    if !bins.is_empty() {
+                        accs.insert(key, bins);
+                    }
                 }
             }
         }
-        Ok(out)
+        let mut tiers: Vec<String> = Vec::new();
+        if raw_hit {
+            self.met.tier_hit_raw.inc();
+            tiers.push("raw".to_string());
+        }
+        for bin in rollup_tiers {
+            // suplint: allow(R7) -- tier label built once per query, not per sample
+            tiers.push(format!("rollup:{bin}"));
+        }
+        let out = accs
+            .into_iter()
+            .filter(|(_, bins)| !bins.is_empty())
+            .map(|(key, bins)| {
+                let series: Vec<(u64, f64)> =
+                    bins.into_iter().map(|(start, acc)| (start, agg.finish(&acc))).collect();
+                (key, series)
+            })
+            .collect();
+        Ok((out, tiers))
+    }
+
+    /// Fold rollup bins overlapping `[t0, t1]` below the raw watermark
+    /// into per-series accumulators; returns the levels that
+    /// contributed (ascending bin_secs). Levels are walked finest-first
+    /// to assign each sub-range of the rolled region to the finest
+    /// level still holding it, then folded coarsest-window-first so
+    /// each accumulator fills in ascending time order. Within a level,
+    /// later segments win per `(series, bin)` — crash-duplicated
+    /// rollup segments are therefore invisible.
+    fn fold_rollup_tiers(
+        &self,
+        sel: &Selector,
+        t0: u64,
+        t1: u64,
+        q: u64,
+        accs: &mut BTreeMap<SeriesKey, BTreeMap<u64, BinAcc>>,
+    ) -> Result<Vec<u64>, TsdbError> {
+        let w = self.manifest.raw_dropped_before;
+        if w == 0 || t0 >= w || self.rollups.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Serve windows [lo, hi) per level, finest first; `hi` walks
+        // down as finer levels claim the newer sub-ranges.
+        let mut windows: Vec<(u64, u64, u64)> = Vec::new();
+        let mut hi = w;
+        for (&bin, readers) in &self.rollups {
+            if readers.is_empty() || hi == 0 {
+                continue;
+            }
+            let lo = self.manifest.level(bin).dropped_before.min(hi);
+            if lo < hi {
+                windows.push((bin, lo, hi));
+                hi = lo;
+            }
+        }
+        let mut used: Vec<u64> = Vec::new();
+        for &(bin, lo, hi) in windows.iter().rev() {
+            if hi.saturating_sub(1) < t0 || lo > t1 {
+                continue; // window entirely outside the query range
+            }
+            let Some(readers) = self.rollups.get(&bin) else { continue };
+            // Later seqs overwrite earlier per (series, bin_start).
+            let mut level_rows: RollupRows = BTreeMap::new();
+            for (_, reader) in readers {
+                for entry in &reader.entries {
+                    if entry.max_ts < t0.max(lo) || entry.min_ts > t1 {
+                        continue;
+                    }
+                    let payload = reader.read_block(entry)?;
+                    let (b, rows) = decode_rollup_block(&payload, reader.path())?;
+                    if b != bin {
+                        return Err(TsdbError::Corrupt(format!(
+                            "{}: rollup block bin {b} does not match file level {bin}",
+                            reader.path().display()
+                        )));
+                    }
+                    for (key, bins_map) in rows {
+                        if !sel.matches(&key) {
+                            continue;
+                        }
+                        level_rows.entry(key).or_default().extend(bins_map);
+                    }
+                }
+            }
+            let mut hit = false;
+            for (key, bins_map) in level_rows {
+                let acc_bins = accs.entry(key).or_default();
+                for (bs, stats) in bins_map {
+                    if bs < lo
+                        || bs >= hi
+                        || bs > t1
+                        || bs.saturating_add(bin.saturating_sub(1)) < t0
+                        || stats.count == 0
+                    {
+                        continue;
+                    }
+                    acc_bins.entry(bs / q * q).or_default().fold_chunk(&stats);
+                    hit = true;
+                }
+            }
+            if hit {
+                if let Some(c) = self.met.tier_hit_rollup.get(&bin) {
+                    c.inc();
+                }
+                used.push(bin);
+            }
+        }
+        used.sort_unstable();
+        Ok(used)
     }
 
     /// One series through the pre-aggregated path, or the merged-scan
     /// fallback when sources overlap in time (overwrites in flight).
-    fn downsample_one(
+    /// Adds into `bins` — which may arrive pre-seeded with rollup-tier
+    /// folds for older time (the raw walk is strictly newer, so adding
+    /// on top preserves time order; a Sum/Mean bin seeded by a rollup
+    /// fails `can_fold` and decodes its raw chunk, continuing the
+    /// sequential sum sample-by-sample). Returns whether any raw data
+    /// contributed.
+    fn downsample_one_into(
         &self,
         key: &SeriesKey,
         t0: u64,
         t1: u64,
         bin_secs: u64,
         agg: Agg,
-    ) -> Result<Option<Vec<(u64, f64)>>, TsdbError> {
+        bins: &mut BTreeMap<u64, BinAcc>,
+    ) -> Result<bool, TsdbError> {
         let exact =
             // suplint: allow(R7) -- exact selector is built once per series read
             Selector { host: Some(key.host.clone()), metric: Some(key.metric.clone()) };
@@ -890,13 +1191,16 @@ impl Tsdb {
             _ => true,
         });
         if spans.is_empty() {
-            return Ok(None);
+            return Ok(false);
         }
         if !orderly || !disjoint {
             let series = self.query(&exact, t0, t1)?;
             let samples =
                 series.into_iter().next().map(|(_, s)| s).unwrap_or_default();
-            return Ok(Some(bin_samples(&samples, bin_secs, agg)));
+            for &(ts, v) in &samples {
+                bins.entry(ts / bin_secs * bin_secs).or_default().add(v);
+            }
+            return Ok(!samples.is_empty());
         }
 
         // Walk sources in ascending time order, folding chunk stats
@@ -913,7 +1217,7 @@ impl Tsdb {
         sources.sort_by_key(|&(min_ts, _)| min_ts);
 
         let needs_sum = agg.needs_sequential_sum();
-        let mut bins: BTreeMap<u64, BinAcc> = BTreeMap::new();
+        let mut added = false;
         for (_, source) in sources {
             match source {
                 Source::Mem => {
@@ -922,6 +1226,7 @@ impl Tsdb {
                             bins.entry(ts / bin_secs * bin_secs)
                                 .or_default()
                                 .add(f64::from_bits(bits));
+                            added = true;
                         }
                     }
                 }
@@ -935,6 +1240,7 @@ impl Tsdb {
                                 bins.entry(r.min_ts / bin_secs * bin_secs).or_default();
                             if acc.can_fold(needs_sum) {
                                 acc.fold_chunk(&r.stats);
+                                added = true;
                                 continue;
                             }
                         }
@@ -962,15 +1268,14 @@ impl Tsdb {
                                 bins.entry(ts / bin_secs * bin_secs)
                                     .or_default()
                                     .add(f64::from_bits(bits));
+                                added = true;
                             }
                         }
                     }
                 }
             }
         }
-        Ok(Some(
-            bins.into_iter().map(|(start, acc)| (start, agg.finish(&acc))).collect(),
-        ))
+        Ok(added)
     }
 
     /// Reference implementation of [`Tsdb::downsample`] over
@@ -988,9 +1293,267 @@ impl Tsdb {
         Ok(bin_series(self.query_naive(sel, t0, t1)?, bin_secs, agg))
     }
 
-    /// Total bytes of sealed segments on disk.
+    /// Newest data timestamp anywhere in the store (memtable, raw
+    /// segments, rollup tiers). Retention callers pass this as `now` so
+    /// a store ages by its own data clock, not the wall clock —
+    /// simulated facilities run on simulated time (see
+    /// `warehouse::tsdbio::enforce_store_retention`).
+    pub fn max_timestamp(&self) -> Option<u64> {
+        let mut max: Option<u64> = None;
+        let mut push = |v: u64| max = Some(max.map_or(v, |m| m.max(v)));
+        for series in self.mem.values() {
+            if let Some((&ts, _)) = series.iter().next_back() {
+                push(ts);
+            }
+        }
+        for (_, r) in &self.segments {
+            if let Some((_, hi)) = r.time_range() {
+                push(hi);
+            }
+        }
+        for readers in self.rollups.values() {
+            for (_, r) in readers {
+                if let Some((_, hi)) = r.time_range() {
+                    push(hi);
+                }
+            }
+        }
+        max
+    }
+
+    /// The store's retention policy (from [`DbOptions`]).
+    pub fn retention_policy(&self) -> &RetentionPolicy {
+        &self.opts.retention
+    }
+
+    /// Raw samples below this data timestamp are logically dropped;
+    /// 0 when retention never ran.
+    pub fn raw_watermark(&self) -> u64 {
+        self.manifest.raw_dropped_before
+    }
+
+    /// Install (or clear) the crash-injection hook that
+    /// [`Tsdb::enforce_retention`] fires at every durability
+    /// transition. Test-only instrumentation: production stores never
+    /// set it.
+    pub fn set_retention_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.fault_hook = hook;
+    }
+
+    /// Fire the crash-injection hook at a named site; a `true` from the
+    /// hook aborts the pass right there with an `Interrupted` error —
+    /// exactly what a kill at that instruction would leave behind.
+    fn fault(&mut self, site: &str, n: u64) -> Result<(), TsdbError> {
+        let Some(hook) = self.fault_hook.as_mut() else { return Ok(()) };
+        // suplint: allow(R7) -- label built only when a test hook is installed
+        let label = format!("{site}:{n}");
+        if hook(&label) {
+            return Err(TsdbError::Io(io::Error::new(
+                io::ErrorKind::Interrupted,
+                // suplint: allow(R7) -- injected-fault error construction, test-only path
+                format!("injected fault at {label}"),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Exact per-bin statistics for all raw samples in `[from, to)` —
+    /// precisely what [`Tsdb::downsample`]'s accumulators would compute,
+    /// which is what makes rollup-served answers exact (see
+    /// [`crate::stats`] for the sequential-sum argument).
+    fn compute_rollup_rows(
+        &self,
+        bin_secs: u64,
+        from: u64,
+        to: u64,
+    ) -> Result<RollupRows, TsdbError> {
+        let mut rows: RollupRows = BTreeMap::new();
+        if from >= to {
+            return Ok(rows);
+        }
+        for (key, samples) in self.query(&Selector::all(), from, to - 1)? {
+            let mut bins: BTreeMap<u64, BinAcc> = BTreeMap::new();
+            for (ts, v) in samples {
+                bins.entry(ts / bin_secs * bin_secs).or_default().add(v);
+            }
+            let stats: BTreeMap<u64, ChunkStats> = bins
+                .into_iter()
+                .map(|(bs, acc)| {
+                    let s = ChunkStats {
+                        count: acc.count,
+                        sum: acc.sum,
+                        min: acc.min,
+                        max: acc.max,
+                        last: acc.last,
+                    };
+                    (bs, s)
+                })
+                .collect();
+            if !stats.is_empty() {
+                rows.insert(key, stats);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Apply the store's [`RetentionPolicy`] as of data time `now`.
+    /// No-op (and `Ok`) when the policy keeps raw forever.
+    ///
+    /// Three phases, each durable before the next begins:
+    ///
+    /// 1. **Roll**: for each level, fold raw samples in
+    ///    `[rolled_through, target)` into exact per-bin statistics,
+    ///    seal them as a rollup segment (tmp → fsync → rename), then
+    ///    advance the level's `rolled_through` in the manifest. The
+    ///    roll target is aligned to the coarsest configured bin, so no
+    ///    rollup bin ever straddles a watermark.
+    /// 2. **Drop raw**: advance the raw watermark to the minimum
+    ///    `rolled_through` (manifest first), then delete raw segments
+    ///    wholly below it — never partial files; spanning segments are
+    ///    clipped logically at read time and GC'd by [`Tsdb::compact`].
+    /// 3. **Drop rollups**: per level with a TTL, advance
+    ///    `dropped_before` (manifest first) and delete rollup segments
+    ///    wholly below it.
+    ///
+    /// A crash — or an injected fault — anywhere leaves the store
+    /// correct: reopen finishes manifest-committed drops, re-running
+    /// the pass completes unfinished rolls, and duplicated rollup
+    /// segments are invisible behind last-write-wins.
+    pub fn enforce_retention(&mut self, now: u64) -> Result<RetentionReport, TsdbError> {
+        let mut report =
+            RetentionReport { raw_watermark: self.manifest.raw_dropped_before, ..Default::default() };
+        // suplint: allow(R7) -- retention pass is cold; the clone frees &mut self for the roll loop
+        let policy = self.opts.retention.clone();
+        let Some(raw_ttl) = policy.raw_ttl else { return Ok(report) };
+        let t = Timer::start();
+        // Everything must be segment-resident before rolling so the
+        // WAL and memtable never hold pre-watermark samples.
+        self.flush()?;
+        let coarse = policy.coarsest_bin();
+        let target = now.saturating_sub(raw_ttl) / coarse * coarse;
+
+        // Phase 1: roll [rolled_through, target) into every level.
+        for level in &policy.levels {
+            let bin = level.bin_secs;
+            let from = self.manifest.level(bin).rolled_through;
+            if from >= target {
+                continue;
+            }
+            self.fault("rollup-seal", bin)?;
+            let rows = self.compute_rollup_rows(bin, from, target)?;
+            if let Some((payload, min_ts, max_ts, n_bins)) = encode_rollup_block(bin, &rows) {
+                let seq = self.next_roll_seq.get(&bin).copied().unwrap_or(1);
+                let mut w = SegmentWriter::new(KIND_ROLLUP);
+                w.push_raw_block(payload, min_ts, max_ts, n_bins);
+                let path = self.dir.join(roll_file_name(bin, seq));
+                w.seal(&path)?;
+                let reader = SegmentReader::open(&path)?;
+                self.rollups.entry(bin).or_default().push((seq, reader));
+                self.next_roll_seq.insert(bin, seq + 1);
+                report.rollup_segments_written += 1;
+                report.rollup_bins_written += u64::from(n_bins);
+                self.met.rollup_segments_written_total.inc();
+                self.met.rollup_bins_written_total.add(u64::from(n_bins));
+            }
+            self.fault("rollup-sealed", bin)?;
+            // suplint: allow(R7) -- manifest is a few lines; cloned once per level per pass
+            let mut m = self.manifest.clone();
+            m.levels.entry(bin).or_default().rolled_through = target;
+            self.fault("manifest-rolled", bin)?;
+            m.store(&self.dir)?;
+            self.manifest = m;
+        }
+
+        // Phase 2: advance the raw watermark, then drop raw segments
+        // wholly below it. Manifest-first means a crash mid-drop is a
+        // committed drop that reopen finishes.
+        let new_w = policy
+            .levels
+            .iter()
+            .map(|l| self.manifest.level(l.bin_secs).rolled_through)
+            .min()
+            .unwrap_or(target)
+            .max(self.manifest.raw_dropped_before);
+        if new_w > self.manifest.raw_dropped_before {
+            self.fault("manifest-raw-watermark", new_w)?;
+            // suplint: allow(R7) -- manifest clone, once per pass
+            let mut m = self.manifest.clone();
+            m.raw_dropped_before = new_w;
+            m.store(&self.dir)?;
+            self.manifest = m;
+            self.met.raw_watermark.set(as_i64(new_w));
+            self.generation += 1;
+        }
+        let droppable: Vec<(u64, PathBuf)> = self
+            .segments
+            .iter()
+            .filter(|(_, r)| {
+                r.time_range().is_some_and(|(_, max)| max < self.manifest.raw_dropped_before)
+            })
+            .map(|(seq, r)| (*seq, r.path().to_path_buf()))
+            .collect();
+        for (seq, path) in droppable {
+            self.fault("drop-raw", seq)?;
+            // Forget the reader before unlinking: if the delete faults,
+            // the in-memory view stays consistent with a file reopen
+            // will finish deleting anyway.
+            self.segments.retain(|(s, _)| *s != seq);
+            fs::remove_file(&path)?;
+            report.raw_segments_dropped += 1;
+            self.met.retention_raw_dropped_total.inc();
+            self.generation += 1;
+        }
+
+        // Phase 3: expire rollup tiers per their own TTLs.
+        for level in &policy.levels {
+            let bin = level.bin_secs;
+            let Some(ttl) = level.ttl else { continue };
+            let mark = self.manifest.level(bin);
+            let cut = now.saturating_sub(ttl) / coarse * coarse;
+            let dropped_before = cut.min(mark.rolled_through);
+            if dropped_before <= mark.dropped_before {
+                continue;
+            }
+            self.fault("manifest-rollup-drop", bin)?;
+            // suplint: allow(R7) -- manifest clone, once per level per pass
+            let mut m = self.manifest.clone();
+            m.levels.entry(bin).or_default().dropped_before = dropped_before;
+            m.store(&self.dir)?;
+            self.manifest = m;
+            self.generation += 1;
+            let droppable: Vec<(u64, PathBuf)> = self
+                .rollups
+                .get(&bin)
+                .map(|v| {
+                    v.iter()
+                        .filter(|(_, r)| {
+                            r.time_range().is_some_and(|(_, max)| max < dropped_before)
+                        })
+                        .map(|(seq, r)| (*seq, r.path().to_path_buf()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for (seq, path) in droppable {
+                self.fault("drop-rollup", seq)?;
+                if let Some(v) = self.rollups.get_mut(&bin) {
+                    v.retain(|(s, _)| *s != seq);
+                }
+                fs::remove_file(&path)?;
+                report.rollup_segments_dropped += 1;
+                self.met.retention_rollup_dropped_total.inc();
+            }
+        }
+
+        report.raw_watermark = self.manifest.raw_dropped_before;
+        self.met.retention_pass_micros.observe_timer(t);
+        self.update_storage_gauges();
+        Ok(report)
+    }
+
+    /// Total bytes of sealed segments on disk (raw + rollup tiers).
     pub fn disk_bytes(&self) -> u64 {
-        self.segments.iter().map(|(_, r)| r.file_len()).sum()
+        self.segments.iter().map(|(_, r)| r.file_len()).sum::<u64>()
+            + self.rollups.values().flatten().map(|(_, r)| r.file_len()).sum::<u64>()
     }
 
     /// The registry this store reports into.
@@ -1012,6 +1575,8 @@ impl Tsdb {
             mem_samples: self.mem_samples,
             recovered_samples: self.recovered_samples,
             recovered_truncated_bytes: self.recovered_truncated_bytes,
+            rollup_segments: self.rollups.values().map(Vec::len).sum(),
+            raw_watermark: self.manifest.raw_dropped_before,
         }
     }
 }
@@ -1212,7 +1777,7 @@ mod tests {
         let dir = tmpdir("diffq");
         let mut db = Tsdb::open_with(
             &dir,
-            DbOptions { chunk_samples: 16, block_chunks: 4 },
+            DbOptions { chunk_samples: 16, block_chunks: 4, ..Default::default() },
         )
         .unwrap();
         fill(&mut db);
@@ -1245,7 +1810,7 @@ mod tests {
         let dir = tmpdir("diffd");
         let mut db = Tsdb::open_with(
             &dir,
-            DbOptions { chunk_samples: 8, block_chunks: 4 },
+            DbOptions { chunk_samples: 8, block_chunks: 4, ..Default::default() },
         )
         .unwrap();
         fill(&mut db);

@@ -13,9 +13,11 @@
 //!
 //! ```text
 //! store/
-//! ├── wal.log            append-only write-ahead log (torn-tail safe)
-//! ├── seg-000001.tsdb    immutable sealed segment (CRC'd blocks + index)
-//! └── seg-000002.tsdb
+//! ├── wal.log              append-only write-ahead log (torn-tail safe)
+//! ├── seg-000001.tsdb      immutable sealed segment (CRC'd blocks + index)
+//! ├── seg-000002.tsdb
+//! ├── roll-3600-000001.tsdb  rollup tier segment (pre-aggregated bins)
+//! └── retention.manifest   per-tier watermarks (rolled/dropped; CRC'd)
 //! ```
 //!
 //! - [`codec`] — Gorilla-style per-series chunk compression:
@@ -30,7 +32,11 @@
 //!   compact) with time-range + host/metric predicate scans and
 //!   downsampling;
 //! - [`recordlog`] — the same segment container for opaque records
-//!   (the warehouse's job table rides on it).
+//!   (the warehouse's job table rides on it);
+//! - [`retention`] — time-partitioned retention + multi-resolution
+//!   rollup tiers: [`retention::RetentionPolicy`], the durable
+//!   watermark manifest, and the rollup segment payload format driven
+//!   by [`Tsdb::enforce_retention`].
 //!
 //! Durability contract: a sample is *acked* once [`Tsdb::sync`] (or
 //! [`Tsdb::flush`]) returns. Recovery after any crash — including a torn
@@ -41,10 +47,12 @@ pub mod codec;
 pub mod crc;
 pub mod db;
 pub mod recordlog;
+pub mod retention;
 pub mod segment;
 pub mod stats;
 pub mod wal;
 
 pub use db::{Agg, DbOptions, DbStats, Selector, SeriesKey, Tsdb};
+pub use retention::{RetentionManifest, RetentionPolicy, RetentionReport, RollupLevel};
 pub use segment::TsdbError;
 pub use stats::{BinAcc, ChunkStats};

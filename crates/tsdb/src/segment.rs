@@ -77,6 +77,8 @@ pub const VERSION: u16 = 2;
 pub const KIND_SERIES: u8 = 0;
 /// Segment holds opaque length-framed records (job table, etc.).
 pub const KIND_RECORDS: u8 = 1;
+/// Segment holds pre-aggregated rollup bins (see `tsdb::retention`).
+pub const KIND_ROLLUP: u8 = 2;
 
 const HEADER_LEN: usize = 12;
 const FOOTER_LEN: usize = 20;
@@ -90,6 +92,8 @@ pub enum TsdbError {
     Corrupt(String),
     /// The file is a segment but from a future format version.
     BadVersion(u16),
+    /// A retention policy failed validation (see `tsdb::retention`).
+    Policy(String),
 }
 
 impl fmt::Display for TsdbError {
@@ -98,6 +102,7 @@ impl fmt::Display for TsdbError {
             TsdbError::Io(e) => write!(f, "tsdb io error: {e}"),
             TsdbError::Corrupt(what) => write!(f, "tsdb corruption: {what}"),
             TsdbError::BadVersion(v) => write!(f, "tsdb segment version {v} is newer than {VERSION}"),
+            TsdbError::Policy(what) => write!(f, "tsdb retention policy: {what}"),
         }
     }
 }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use supremm_tsdb::codec::{decode_chunk, encode_chunk};
 use supremm_tsdb::segment::{SegmentWriter, KIND_SERIES};
 use supremm_tsdb::wal::{Wal, WalRecord};
-use supremm_tsdb::{Agg, DbOptions, Selector, Tsdb};
+use supremm_tsdb::{Agg, DbOptions, RetentionPolicy, RollupLevel, Selector, Tsdb};
 
 fn tmpdir(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -35,7 +35,7 @@ fn samples_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
 /// Tiny chunks/blocks so even small random stores span many chunks,
 /// blocks, and segments — the shapes the series index has to get right.
 fn small_opts() -> DbOptions {
-    DbOptions { chunk_samples: 8, block_chunks: 2 }
+    DbOptions { chunk_samples: 8, block_chunks: 2, ..Default::default() }
 }
 
 /// Store-building ops: (host, metric, ts, value bits, action) where
@@ -45,7 +45,15 @@ fn store_ops() -> impl Strategy<Value = Vec<(u8, u8, u64, u64, u8)>> {
 }
 
 fn build_store(dir: &std::path::Path, ops: &[(u8, u8, u64, u64, u8)]) -> Tsdb {
-    let mut db = Tsdb::open_with(dir, small_opts()).unwrap();
+    build_store_with(dir, small_opts(), ops)
+}
+
+fn build_store_with(
+    dir: &std::path::Path,
+    opts: DbOptions,
+    ops: &[(u8, u8, u64, u64, u8)],
+) -> Tsdb {
+    let mut db = Tsdb::open_with(dir, opts).unwrap();
     for (host, metric, ts, bits, action) in ops {
         db.append(&format!("h{host}"), &format!("m{metric}"), *ts, f64::from_bits(*bits))
             .unwrap();
@@ -300,6 +308,108 @@ proptest! {
             }
         }
         prop_assert_eq!(got, model);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Retention differential #1: whatever raw survives the pass must
+    /// answer queries bit-identically to the pre-retention store on the
+    /// surviving window — through the fast path, the naive path, and a
+    /// reopen from disk.
+    #[test]
+    fn retention_never_loses_raw_newer_than_the_ttl(
+        ops in store_ops(),
+        (raw_ttl, b1, m2) in (1u64..300, 1u64..6, 2u64..5),
+        queries in prop::collection::vec((0u8..5, 0u8..4, 0u64..600, 0u64..600), 1..6),
+    ) {
+        let dir = tmpdir("retention-raw");
+        // Non-last levels get a TTL far beyond the data range so only
+        // the raw cut moves; tier expiry has its own integration tests.
+        let retention = RetentionPolicy {
+            raw_ttl: Some(raw_ttl),
+            levels: vec![
+                RollupLevel { bin_secs: b1, ttl: Some(1_000_000) },
+                RollupLevel { bin_secs: b1 * m2, ttl: None },
+            ],
+        };
+        let small = small_opts();
+        let opts = DbOptions { retention, ..small };
+        let mut db = build_store_with(&dir, opts.clone(), &ops);
+        let now = db.max_timestamp().unwrap_or(0);
+        let coarse = b1 * m2;
+        let target = now.saturating_sub(raw_ttl) / coarse * coarse;
+        // Pre-retention oracle on each query's surviving window.
+        let pre: Vec<_> = queries
+            .iter()
+            .map(|(host, metric, t0, len)| {
+                let sel = selector_from(*host, *metric);
+                let (t0, t1) = (*t0.max(&target), t0.saturating_add(*len));
+                bits_view(db.query_naive(&sel, t0, t1).unwrap())
+            })
+            .collect();
+
+        let report = db.enforce_retention(now).unwrap();
+        prop_assert_eq!(report.raw_watermark, target);
+        drop(db);
+        let db = Tsdb::open_with(&dir, opts).unwrap();
+        prop_assert_eq!(db.stats().raw_watermark, target);
+        for ((host, metric, t0, len), want) in queries.iter().zip(&pre) {
+            let sel = selector_from(*host, *metric);
+            let (t0, t1) = (*t0.max(&target), t0.saturating_add(*len));
+            let fast = bits_view(db.query(&sel, t0, t1).unwrap());
+            let naive = bits_view(db.query_naive(&sel, t0, t1).unwrap());
+            prop_assert_eq!(&fast, want, "fast, selector {:?} [{}, {}]", sel, t0, t1);
+            prop_assert_eq!(&naive, want, "naive, selector {:?} [{}, {}]", sel, t0, t1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Retention differential #2: after the pass, tier-fold downsample
+    /// over the *whole* range — rolled history plus surviving raw — is
+    /// bit-identical to the pre-retention naive oracle. At the finest
+    /// tier's own bin width that holds for every aggregate (rollup sums
+    /// are the exact per-bin sequential sums); at coarser multiples it
+    /// holds for the order-insensitive aggregates.
+    #[test]
+    fn tier_fold_downsample_matches_the_pre_retention_oracle(
+        ops in store_ops(),
+        (raw_ttl, b1, m2) in (1u64..300, 1u64..6, 2u64..5),
+        k in 1u64..4,
+    ) {
+        let dir = tmpdir("retention-fold");
+        let retention = RetentionPolicy {
+            raw_ttl: Some(raw_ttl),
+            levels: vec![
+                RollupLevel { bin_secs: b1, ttl: Some(1_000_000) },
+                RollupLevel { bin_secs: b1 * m2, ttl: None },
+            ],
+        };
+        let small = small_opts();
+        let mut db = build_store_with(&dir, DbOptions { retention, ..small }, &ops);
+        let all = Selector::all();
+        const ALL_AGGS: [Agg; 6] =
+            [Agg::Mean, Agg::Sum, Agg::Min, Agg::Max, Agg::Last, Agg::Count];
+        const FOLD_SAFE: [Agg; 4] = [Agg::Min, Agg::Max, Agg::Last, Agg::Count];
+        let pre_fine: Vec<_> = ALL_AGGS
+            .iter()
+            .map(|&agg| bits_view(db.downsample_naive(&all, 0, u64::MAX, b1, agg).unwrap()))
+            .collect();
+        let coarse_bin = b1 * k;
+        let pre_coarse: Vec<_> = FOLD_SAFE
+            .iter()
+            .map(|&agg| {
+                bits_view(db.downsample_naive(&all, 0, u64::MAX, coarse_bin, agg).unwrap())
+            })
+            .collect();
+
+        db.enforce_retention(db.max_timestamp().unwrap_or(0)).unwrap();
+        for (&agg, want) in ALL_AGGS.iter().zip(&pre_fine) {
+            let got = bits_view(db.downsample(&all, 0, u64::MAX, b1, agg).unwrap());
+            prop_assert_eq!(&got, want, "fine bin {} agg {:?}", b1, agg);
+        }
+        for (&agg, want) in FOLD_SAFE.iter().zip(&pre_coarse) {
+            let got = bits_view(db.downsample(&all, 0, u64::MAX, coarse_bin, agg).unwrap());
+            prop_assert_eq!(&got, want, "coarse bin {} agg {:?}", coarse_bin, agg);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

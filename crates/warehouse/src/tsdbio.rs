@@ -21,7 +21,7 @@ use std::io;
 use supremm_metrics::Timestamp;
 use supremm_taccstats::derive::file_extended_series;
 use supremm_taccstats::RawArchive;
-use supremm_tsdb::{Selector, Tsdb, TsdbError};
+use supremm_tsdb::{Agg, RetentionReport, Selector, Tsdb, TsdbError};
 
 use crate::timeseries::{SystemBin, SystemSeries};
 
@@ -113,9 +113,15 @@ pub fn store_system_series(db: &mut Tsdb, series: &SystemSeries) -> io::Result<(
 /// Rebuild the [`SystemSeries`] from the store — the query-API path the
 /// report/serving layer uses instead of recomputing from raw archives.
 pub fn load_system_series(db: &Tsdb) -> Result<SystemSeries, TsdbError> {
+    // The binning row lives at ts 0, which a retention pass expires
+    // from raw; the tier-aware read serves it from the rollup (Last is
+    // exact there), so a store never forgets its own binning.
+    let meta_sel =
+        Selector { host: Some(META_HOST.into()), metric: Some("bin_secs".into()) };
     let bin_secs = db
-        .query_series(META_HOST, "bin_secs", 0, 0)?
+        .downsample(&meta_sel, 0, u64::MAX, u64::MAX, Agg::Last)?
         .first()
+        .and_then(|(_, pts)| pts.first())
         .map(|&(_, v)| v as u64)
         .unwrap_or(0);
     let mut bins: BTreeMap<u64, SystemBin> = BTreeMap::new();
@@ -134,6 +140,18 @@ pub fn load_system_series(db: &Tsdb) -> Result<SystemSeries, TsdbError> {
 
 fn into_sorted_bins(bins: BTreeMap<u64, SystemBin>) -> Vec<SystemBin> {
     bins.into_values().collect()
+}
+
+/// Run one retention pass against the store under its configured
+/// policy, using the store's own newest sample as the data-time `now`.
+///
+/// Facility stores routinely lag wall clock (backfills, replays,
+/// simulated histories), so expiring relative to data time instead of
+/// `SystemTime::now()` keeps a replayed history intact: nothing ages
+/// out until newer data actually lands.
+pub fn enforce_store_retention(db: &mut Tsdb) -> Result<RetentionReport, TsdbError> {
+    let now = db.max_timestamp().unwrap_or(0);
+    db.enforce_retention(now)
 }
 
 /// Reduce every raw file to per-interval [`ExtendedMetric`] series and
@@ -239,6 +257,30 @@ mod tests {
         let db = Tsdb::open(&dir).unwrap();
         let back = load_system_series(&db).unwrap();
         assert_eq!(back.bins, series.bins);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_retention_uses_data_time_and_keeps_recent_bins() {
+        use supremm_tsdb::{DbOptions, RetentionPolicy};
+        let dir = tmpdir("retention");
+        let policy = RetentionPolicy::parse("raw=1200s,600=forever").unwrap();
+        let mut db =
+            Tsdb::open_with(&dir, DbOptions { retention: policy, ..Default::default() })
+                .unwrap();
+        let series = SystemSeries::from_archive(&archive(), 600);
+        store_system_series(&mut db, &series).unwrap();
+        db.flush().unwrap();
+        let before = load_system_series(&db).unwrap();
+        let report = enforce_store_retention(&mut db).unwrap();
+        // Data spans 1200..3600; data-time now = 3600, cut = 2400.
+        assert_eq!(report.raw_watermark, 2400);
+        assert!(report.rollup_segments_written > 0);
+        let after = load_system_series(&db).unwrap();
+        assert_eq!(after.bin_secs, before.bin_secs, "metadata rolled up, still served");
+        let survivors: Vec<_> =
+            before.bins.iter().filter(|b| b.ts.0 >= 2400).cloned().collect();
+        assert_eq!(after.bins, survivors, "surviving bins are bit-identical");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

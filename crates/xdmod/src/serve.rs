@@ -350,7 +350,10 @@ pub fn handle_with_obs(
                 return Response::error(400, "t0/t1 must be unsigned seconds");
             };
             let result = match get("bin") {
-                None => db.query(&sel, t0, t1),
+                // Raw reads never consult rollups: whatever the query
+                // returns came from the raw tier (the store clamps the
+                // range at its raw watermark).
+                None => db.query(&sel, t0, t1).map(|s| (s, vec!["raw".to_string()])),
                 Some(bin) => {
                     let Ok(bin) = bin.parse::<u64>() else {
                         return Response::error(400, "bin must be unsigned seconds");
@@ -361,11 +364,11 @@ pub fn handle_with_obs(
                     let Some(agg) = parse_agg(get("agg").unwrap_or("mean")) else {
                         return Response::error(400, "unknown agg");
                     };
-                    db.downsample(&sel, t0, t1, bin, agg)
+                    db.downsample_tiered(&sel, t0, t1, bin, agg)
                 }
             };
-            let series = match result {
-                Ok(series) => series,
+            let (series, tiers) = match result {
+                Ok(answer) => answer,
                 Err(e) => return Response::error(500, &format!("store: {e}")),
             };
             let body: Vec<Value> = series
@@ -382,7 +385,12 @@ pub fn handle_with_obs(
                     ])
                 })
                 .collect();
-            Response::json(200, obj([("series", Value::Array(body))]).to_string())
+            let tiers: Vec<Value> = tiers.iter().map(|t| t.as_str().into()).collect();
+            Response::json(
+                200,
+                obj([("series", Value::Array(body)), ("tiers", Value::Array(tiers))])
+                    .to_string(),
+            )
         }
         "/v1/metrics" => {
             if let Some(msg) = unknown_param(&params, &["format"]) {

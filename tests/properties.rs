@@ -460,4 +460,60 @@ proptest! {
         }
         prop_assert!(d.resid_sd < 0.3 + 0.05 * amp);
     }
+
+    /// Retention across the suite facade: random writes under a random
+    /// two-tier policy, one data-time pass, then a reopen. Surviving
+    /// raw answers bit-identically to the pre-retention oracle, and the
+    /// finest tier reconstructs the full downsampled history.
+    #[test]
+    fn retention_pass_preserves_surviving_raw_and_rolled_history(
+        samples in proptest::collection::vec((0u64..2000, any::<u32>()), 1..200),
+        raw_ttl in 1u64..1500,
+        bin in 1u64..20,
+        mult in 2u64..5,
+    ) {
+        use supremm_suite::warehouse::tsdb::{
+            Agg, DbOptions, RetentionPolicy, RollupLevel, Selector, Tsdb,
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "suite-retention-{}-{}",
+            std::process::id(),
+            samples.len() as u64 * 31 + raw_ttl
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = DbOptions {
+            chunk_samples: 8,
+            block_chunks: 2,
+            retention: RetentionPolicy {
+                raw_ttl: Some(raw_ttl),
+                levels: vec![RollupLevel { bin_secs: bin * mult, ttl: None }],
+            },
+        };
+        let mut db = Tsdb::open_with(&dir, opts.clone()).unwrap();
+        for (i, &(ts, v)) in samples.iter().enumerate() {
+            db.append("h", "m", ts, f64::from(v)).unwrap();
+            if i % 37 == 36 {
+                db.flush().unwrap();
+            }
+        }
+        db.flush().unwrap();
+        let all = Selector::all();
+        let now = db.max_timestamp().unwrap_or(0);
+        let coarse = bin * mult;
+        let target = now.saturating_sub(raw_ttl) / coarse * coarse;
+        let pre_raw = db.query_naive(&all, target, u64::MAX).unwrap();
+        let pre_down = db.downsample_naive(&all, 0, u64::MAX, coarse, Agg::Count).unwrap();
+
+        let report = db.enforce_retention(now).unwrap();
+        prop_assert_eq!(report.raw_watermark, target);
+        drop(db);
+        let db = Tsdb::open_with(&dir, opts).unwrap();
+        prop_assert_eq!(db.query(&all, target, u64::MAX).unwrap(), pre_raw);
+        prop_assert_eq!(
+            db.downsample(&all, 0, u64::MAX, coarse, Agg::Count).unwrap(),
+            pre_down
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
